@@ -1,0 +1,134 @@
+#pragma once
+///
+/// \file bench_common.hpp
+/// \brief Shared harness for the figure-reproduction drivers.
+///
+/// Every fig* binary reproduces one figure of the paper: it sweeps the
+/// figure's x-axis, prints the same series the paper plots, then evaluates
+/// the *shape* expectations from DESIGN.md section 5 (who wins, where the
+/// crossover falls) and prints SHAPE PASS/FAIL lines. Absolute numbers are
+/// from our simulated fabric, not Delta — see EXPERIMENTS.md.
+///
+/// The scaled cost model: our workloads are ~10x smaller than the paper's
+/// (one box instead of 64 Delta nodes), so per-message costs are scaled up
+/// to keep the paper's governing ratio — per-message cost >> per-item
+/// cost — at the same order. alpha stays microseconds; beta stays ~0.1
+/// ns/B; the comm thread costs ~1.5us per message, making it the
+/// serialization bottleneck exactly as in section III-A.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "runtime/config.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/topology.hpp"
+
+namespace tram::bench {
+
+/// Command-line/env options common to every figure driver.
+struct BenchOptions {
+  bool quick = false;  // ~4x smaller workloads (CI mode)
+  std::int64_t trials = 3;
+  bool csv = false;
+
+  /// Parse argv; also honors TRAM_QUICK=1. Returns false on --help/err.
+  bool parse(int argc, char** argv, const std::string& what) {
+    util::Cli cli(what);
+    cli.add_flag("quick", &quick, "run a reduced sweep (also TRAM_QUICK=1)");
+    cli.add_int("trials", &trials, "timed trials per configuration");
+    cli.add_flag("csv", &csv, "also print CSV rows");
+    if (!cli.parse(argc, argv)) return false;
+    if (const char* env = std::getenv("TRAM_QUICK");
+        env && env[0] == '1') {
+      quick = true;
+    }
+    return true;
+  }
+};
+
+/// Interconnect model used by all figure benches (see file comment).
+inline net::CostModel bench_cost_model() {
+  net::CostModel m;
+  m.alpha_remote_ns = 20'000.0;
+  m.alpha_local_ns = 2'000.0;
+  m.beta_remote_ns = 0.1;
+  m.beta_local_ns = 0.02;
+  // Kept well below the comm-thread per-message cost: real NICs accept
+  // injections from many processes in parallel (per-process queue pairs),
+  // so the node-level serialization point must not mask the comm thread.
+  m.inject_ns = 200.0;
+  return m;
+}
+
+/// Runtime config for SMP-mode figure runs.
+inline rt::RuntimeConfig bench_runtime() {
+  rt::RuntimeConfig cfg;
+  cfg.cost = bench_cost_model();
+  cfg.comm_per_msg_send_ns = 1'500.0;
+  cfg.comm_per_msg_recv_ns = 1'500.0;
+  cfg.comm_per_byte_ns = 0.05;
+  return cfg;
+}
+
+/// Runtime config for non-SMP runs (each worker communicates for itself).
+inline rt::RuntimeConfig bench_runtime_nonsmp() {
+  rt::RuntimeConfig cfg = bench_runtime();
+  cfg.dedicated_comm = false;
+  return cfg;
+}
+
+/// Run `fn` (returning seconds) `trials` times after one warmup; returns
+/// the median.
+template <typename Fn>
+double median_seconds(int trials, Fn&& fn) {
+  (void)fn();  // warmup
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) samples.push_back(fn());
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Collects shape-expectation results and prints a summary.
+class ShapeChecker {
+ public:
+  void expect(bool ok, const std::string& what) {
+    checks_.push_back({ok, what});
+    if (!ok) failures_++;
+  }
+
+  /// Prints every check and returns the number of failures. Benches exit 0
+  /// regardless (a noisy box must not break the pipeline); EXPERIMENTS.md
+  /// records the outcomes.
+  int report() const {
+    std::printf("\n-- shape checks --\n");
+    for (const auto& [ok, what] : checks_) {
+      std::printf("[%s] %s\n", ok ? "SHAPE PASS" : "SHAPE FAIL",
+                  what.c_str());
+    }
+    std::printf("%zu/%zu shape checks passed\n", checks_.size() - failures_,
+                checks_.size());
+    return static_cast<int>(failures_);
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> checks_;
+  std::size_t failures_ = 0;
+};
+
+/// Print the table (and CSV when requested).
+inline void emit(const util::Table& table, const BenchOptions& opt) {
+  table.print();
+  if (opt.csv) {
+    std::printf("\n-- csv --\n%s", table.to_csv().c_str());
+  }
+}
+
+}  // namespace tram::bench

@@ -1,0 +1,69 @@
+#pragma once
+/// Shared runner for the index-gather figure benches (Figs 12-13).
+
+#include "apps/index_gather.hpp"
+#include "bench_common.hpp"
+#include "runtime/machine.hpp"
+
+namespace tram::bench {
+
+struct IgPoint {
+  double seconds = 0.0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  bool verified = true;
+};
+
+inline IgPoint run_ig(const util::Topology& topo,
+                      const core::TramConfig& tram_cfg,
+                      std::uint64_t requests_per_worker, int trials) {
+  rt::Machine machine(topo, bench_runtime());
+  apps::IgParams params;
+  params.requests_per_worker = requests_per_worker;
+  params.table_entries_per_worker = 1 << 12;
+  params.tram = tram_cfg;
+  apps::IndexGatherApp app(machine, params);
+
+  IgPoint point;
+  util::RunningStats lat_stats, p99_stats;
+  point.seconds = median_seconds(trials, [&] {
+    const auto res = app.run();
+    lat_stats.add(res.latency.mean_ns() * 1e-3);
+    p99_stats.add(res.latency.percentile_ns(0.99) * 1e-3);
+    point.verified = point.verified && res.verified;
+    if (!res.verified) {
+      std::fprintf(stderr,
+                   "[ig verify] scheme=%s topo=%s responses=%llu "
+                   "expected=%llu wrong=%llu req(ins=%llu del=%llu) "
+                   "resp(ins=%llu del=%llu)\n",
+                   core::to_string(tram_cfg.scheme),
+                   topo.to_string().c_str(),
+                   static_cast<unsigned long long>(res.responses),
+                   static_cast<unsigned long long>(
+                       params.requests_per_worker *
+                       static_cast<std::uint64_t>(topo.workers())),
+                   static_cast<unsigned long long>(res.wrong_values),
+                   static_cast<unsigned long long>(res.req_stats.items_inserted),
+                   static_cast<unsigned long long>(res.req_stats.items_delivered),
+                   static_cast<unsigned long long>(res.resp_stats.items_inserted),
+                   static_cast<unsigned long long>(res.resp_stats.items_delivered));
+      std::fprintf(stderr,
+                   "[ig verify] req shipped items=%.0f msgs=%llu "
+                   "sent=%llu handled=%llu in_flight=%llu pending=%llu\n",
+                   res.req_stats.occupancy_at_ship.sum(),
+                   static_cast<unsigned long long>(
+                       res.req_stats.msgs_shipped),
+                   static_cast<unsigned long long>(machine.total_sent()),
+                   static_cast<unsigned long long>(machine.total_handled()),
+                   static_cast<unsigned long long>(
+                       machine.fabric().in_flight()),
+                   static_cast<unsigned long long>(machine.total_pending()));
+    }
+    return res.run.wall_s;
+  });
+  point.mean_latency_us = lat_stats.mean();
+  point.p99_latency_us = p99_stats.mean();
+  return point;
+}
+
+}  // namespace tram::bench

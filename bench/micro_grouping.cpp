@@ -1,0 +1,73 @@
+/// Microbenchmark of the grouping/sorting step (paper section III-C: the
+/// destination-side grouping of a g-item buffer across t workers costs
+/// O(g + t)). Compares the WPs destination-side bucket pass with the WsP
+/// source-side counting sort across g and t.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tram;
+using Entry = core::WireEntry<std::uint64_t>;
+
+std::vector<Entry> make_entries(std::size_t g, int t) {
+  util::Xoshiro256 rng(123);
+  std::vector<Entry> entries(g);
+  for (auto& e : entries) {
+    e.dest = static_cast<WorkerId>(rng.below(static_cast<std::uint64_t>(t)));
+    e.item = rng();
+  }
+  return entries;
+}
+
+/// WPs receiver: single pass bucketing into per-worker vectors.
+void BM_DestinationGrouping(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const auto entries = make_entries(g, t);
+  for (auto _ : state) {
+    std::vector<std::vector<Entry>> groups(static_cast<std::size_t>(t));
+    for (const Entry& e : entries) {
+      groups[static_cast<std::size_t>(e.dest)].push_back(e);
+    }
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * g));
+}
+BENCHMARK(BM_DestinationGrouping)
+    ->Args({512, 4})->Args({1024, 4})->Args({4096, 4})
+    ->Args({1024, 8})->Args({1024, 32});
+
+/// WsP source: counting sort (two passes, no per-bucket allocation).
+void BM_SourceCountingSort(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const auto entries = make_entries(g, t);
+  for (auto _ : state) {
+    std::uint32_t counts[core::kMaxLocalWorkers] = {};
+    for (const Entry& e : entries) counts[e.dest]++;
+    std::uint32_t offsets[core::kMaxLocalWorkers];
+    std::uint32_t acc = 0;
+    for (int r = 0; r < t; ++r) {
+      offsets[r] = acc;
+      acc += counts[r];
+    }
+    std::vector<Entry> sorted(entries.size());
+    for (const Entry& e : entries) sorted[offsets[e.dest]++] = e;
+    benchmark::DoNotOptimize(sorted);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * g));
+}
+BENCHMARK(BM_SourceCountingSort)
+    ->Args({512, 4})->Args({1024, 4})->Args({4096, 4})
+    ->Args({1024, 8})->Args({1024, 32});
+
+}  // namespace

@@ -1,0 +1,72 @@
+/// Substrate microbenchmarks: the queues every message crosses.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "util/mpsc_queue.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace {
+
+using namespace tram;
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  util::SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.try_push(v++);
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_SpscRingThroughput(benchmark::State& state) {
+  // Producer thread floods; the timed loop consumes.
+  util::SpscRing<std::uint64_t> ring(4096);
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) ring.try_push(v++);
+  });
+  std::uint64_t popped = 0;
+  for (auto _ : state) {
+    if (auto x = ring.try_pop()) {
+      benchmark::DoNotOptimize(*x);
+      ++popped;
+    }
+  }
+  stop.store(true);
+  producer.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(popped));
+}
+BENCHMARK(BM_SpscRingThroughput);
+
+void BM_MpscQueue(benchmark::State& state) {
+  // range(0) producers flood an MPSC queue; the timed loop consumes.
+  util::MpscQueue<std::uint64_t> q;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < state.range(0); ++i) {
+    producers.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (!stop.load(std::memory_order_relaxed)) q.push(v++);
+    });
+  }
+  std::uint64_t popped = 0;
+  for (auto _ : state) {
+    if (auto x = q.try_pop()) {
+      benchmark::DoNotOptimize(*x);
+      ++popped;
+    }
+  }
+  stop.store(true);
+  for (auto& t : producers) t.join();
+  while (q.try_pop()) {
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(popped));
+}
+BENCHMARK(BM_MpscQueue)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

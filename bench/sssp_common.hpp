@@ -1,0 +1,44 @@
+#pragma once
+/// Shared runner for the SSSP figure benches (Figs 14-17).
+
+#include "apps/sssp.hpp"
+#include "bench_common.hpp"
+#include "graph/generator.hpp"
+#include "runtime/machine.hpp"
+
+namespace tram::bench {
+
+struct SsspPoint {
+  double seconds = 0.0;
+  double wasted_pct = 0.0;
+  std::uint64_t wasted = 0;
+  std::uint64_t tram_messages = 0;
+  double mean_occupancy = 0.0;
+  bool verified = true;
+};
+
+inline SsspPoint run_sssp(const graph::Csr& g, const util::Topology& topo,
+                          const core::TramConfig& tram_cfg, int trials) {
+  rt::Machine machine(topo, bench_runtime());
+  apps::SsspParams params;
+  params.graph = &g;
+  params.tram = tram_cfg;
+  params.delta = 8;
+  apps::SsspApp app(machine, params);
+
+  SsspPoint point;
+  util::RunningStats pct_stats;
+  point.seconds = median_seconds(trials, [&] {
+    const auto res = app.run();
+    pct_stats.add(res.wasted_pct);
+    point.wasted = res.wasted_updates;
+    point.tram_messages = res.tram.msgs_shipped;
+    point.mean_occupancy = res.tram.occupancy_at_ship.mean();
+    point.verified = point.verified && res.verified;
+    return res.run.wall_s;
+  });
+  point.wasted_pct = pct_stats.mean();
+  return point;
+}
+
+}  // namespace tram::bench

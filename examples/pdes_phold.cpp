@@ -1,0 +1,63 @@
+/// \file pdes_phold.cpp
+/// \brief Optimistic PDES scenario: PHOLD with scheme comparison.
+///
+/// Runs the synthetic PHOLD benchmark (paper section III-D) once per
+/// aggregation scheme and prints the out-of-order event rate — the proxy
+/// for rollback pressure in an optimistic simulator. Lower-latency
+/// aggregation => fewer events arrive behind their LP's clock => fewer
+/// would-be rollbacks.
+///
+///   ./pdes_phold --lps 128 --end-time 200 --buffer 256
+
+#include <cstdio>
+
+#include "apps/phold.hpp"
+#include "runtime/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace tram;
+
+int main(int argc, char** argv) {
+  std::int64_t lps = 128;
+  std::int64_t buffer = 256;
+  double end_time = 200.0;
+  double remote_prob = 0.5;
+  util::Cli cli("pdes_phold: PHOLD out-of-order rate per scheme");
+  cli.add_int("lps", &lps, "logical processes per worker PE");
+  cli.add_int("buffer", &buffer, "aggregation buffer size");
+  cli.add_double("end-time", &end_time, "virtual end time");
+  cli.add_double("remote-prob", &remote_prob,
+                 "probability an event targets a remote LP");
+  if (!cli.parse(argc, argv)) return 0;
+
+  util::Table table("PHOLD: out-of-order (would-be rollback) events");
+  table.set_header({"scheme", "events", "out-of-order", "%", "wall ms"});
+
+  for (const auto scheme : core::all_schemes()) {
+    rt::Machine machine(util::Topology(2, 1, 8), rt::RuntimeConfig{});
+    apps::PholdParams params;
+    params.lps_per_worker = static_cast<int>(lps);
+    params.init_events_per_lp = 1;
+    params.lookahead = 1.0;
+    params.remote_prob = remote_prob;
+    params.end_time = end_time;
+    params.tram.scheme = scheme;
+    params.tram.buffer_items = static_cast<std::uint32_t>(buffer);
+    apps::PholdApp app(machine, params);
+    const auto res = app.run();
+    table.add_row({core::to_string(scheme),
+                   util::Table::fmt_int(
+                       static_cast<long long>(res.events_processed)),
+                   util::Table::fmt_int(
+                       static_cast<long long>(res.ooo_events)),
+                   util::Table::fmt(res.ooo_pct, 2),
+                   util::Table::fmt(res.run.wall_s * 1e3, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nReading the table: None has the lowest latency and the highest\n"
+      "message cost; PP aggregates with the lowest latency among the\n"
+      "aggregating schemes, so its out-of-order rate sits closest to None.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "apps/pingack.hpp"
+
+#include <stdexcept>
+
+#include "util/timebase.hpp"
+
+namespace tram::apps {
+
+PingAckApp::PingAckApp(rt::Machine& machine) : machine_(machine) {
+  const auto& topo = machine.topology();
+  if (topo.nodes() != 2) {
+    throw std::invalid_argument("PingAckApp needs exactly 2 nodes");
+  }
+  workers_per_node_ = topo.workers_per_node();
+  received_.resize(static_cast<std::size_t>(topo.workers()));
+
+  ep_data_ = machine_.register_endpoint([this](rt::Worker& w,
+                                               rt::Message&&) {
+    auto& count = received_[static_cast<std::size_t>(w.id())].value;
+    if (++count == expected_per_worker_) {
+      rt::Message ack;
+      ack.endpoint = ep_ack_;
+      ack.dst_worker = 0;
+      ack.src_worker = w.id();
+      w.send(std::move(ack));
+    }
+  });
+
+  ep_ack_ = machine_.register_endpoint([this](rt::Worker&, rt::Message&&) {
+    if (++acks_ == workers_per_node_) {
+      t_end_ns_ = util::now_ns();
+    }
+  });
+}
+
+PingAckResult PingAckApp::run(const PingAckParams& params) {
+  expected_per_worker_ = params.messages_per_worker;
+  messages_per_worker_ = params.messages_per_worker;
+  payload_bytes_ = static_cast<int>(params.payload_bytes);
+  progress_interval_ = params.progress_interval;
+  acks_ = 0;
+  for (auto& r : received_) r.value = 0;
+
+  const auto run = machine_.run([this](rt::Worker& w) {
+    const auto& topo = w.machine().topology();
+    if (topo.node_of_worker(w.id()) != 0) return;
+    if (w.id() == 0) t_start_ns_ = util::now_ns();
+    const WorkerId dest = w.id() + workers_per_node_;
+    for (int i = 0; i < messages_per_worker_; ++i) {
+      rt::Message m;
+      m.endpoint = ep_data_;
+      m.dst_worker = dest;
+      m.src_worker = w.id();
+      m.payload.resize(static_cast<std::size_t>(payload_bytes_));
+      w.send(std::move(m));
+      if (progress_interval_ > 0 && i % progress_interval_ == 0) {
+        w.progress();
+      }
+    }
+  });
+
+  PingAckResult res;
+  res.total_s = static_cast<double>(t_end_ns_ - t_start_ns_) * 1e-9;
+  res.fabric_messages = run.fabric_messages;
+  return res;
+}
+
+}  // namespace tram::apps

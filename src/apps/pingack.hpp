@@ -1,0 +1,57 @@
+#pragma once
+///
+/// \file pingack.hpp
+/// \brief The PingAck benchmark (paper section III-A, Figs. 2-3).
+///
+/// Two physical nodes. Every worker PE on node 0 sends `messages_per_worker`
+/// messages of a given size to the same-rank PE on node 1; each node-1 PE
+/// acks to PE 0 after receiving its full count; the measured time runs from
+/// PE 0's first send to the last ack. Node 0 is all-send, node 1 all-receive,
+/// isolating the per-side communication capacity — in SMP mode this exposes
+/// the comm-thread serialization bottleneck that makes 1-process SMP ~5x
+/// slower than non-SMP in the paper.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "util/spinlock.hpp"
+
+namespace tram::apps {
+
+struct PingAckParams {
+  int messages_per_worker = 1000;
+  std::size_t payload_bytes = 64;
+  /// Pump progress() every this many sends (keeps receives interleaved).
+  int progress_interval = 16;
+};
+
+struct PingAckResult {
+  /// PE 0 first send -> last ack received, seconds.
+  double total_s = 0.0;
+  std::uint64_t fabric_messages = 0;
+};
+
+class PingAckApp {
+ public:
+  explicit PingAckApp(rt::Machine& machine);
+  PingAckResult run(const PingAckParams& params);
+
+ private:
+  rt::Machine& machine_;
+  EndpointId ep_data_ = -1;
+  EndpointId ep_ack_ = -1;
+  int expected_per_worker_ = 0;
+  int payload_bytes_ = 0;
+  int messages_per_worker_ = 0;
+  int progress_interval_ = 16;
+  int workers_per_node_ = 0;
+  /// Per-worker receive counters (each written by its owner only).
+  std::vector<util::Padded<int>> received_;
+  int acks_ = 0;  // written by worker 0 only
+  std::uint64_t t_start_ns_ = 0;
+  std::uint64_t t_end_ns_ = 0;
+};
+
+}  // namespace tram::apps

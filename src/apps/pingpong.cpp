@@ -1,0 +1,64 @@
+#include "apps/pingpong.hpp"
+
+#include <stdexcept>
+
+#include "util/timebase.hpp"
+
+namespace tram::apps {
+
+PingPongApp::PingPongApp(rt::Machine& machine) : machine_(machine) {
+  const auto& topo = machine.topology();
+  if (topo.nodes() < 2) {
+    throw std::invalid_argument("PingPongApp needs at least 2 nodes");
+  }
+  peer_ = topo.first_worker_of(topo.first_proc_of(1));
+
+  ep_ping_ = machine_.register_endpoint([this](rt::Worker& w,
+                                               rt::Message&& m) {
+    // Echo the payload straight back.
+    rt::Message reply;
+    reply.endpoint = ep_pong_;
+    reply.dst_worker = 0;
+    reply.src_worker = w.id();
+    reply.payload = std::move(m.payload);
+    w.send(std::move(reply));
+  });
+
+  ep_pong_ = machine_.register_endpoint([this](rt::Worker& w,
+                                               rt::Message&& m) {
+    if (--remaining_ > 0) {
+      rt::Message ping;
+      ping.endpoint = ep_ping_;
+      ping.dst_worker = peer_;
+      ping.src_worker = w.id();
+      ping.payload = std::move(m.payload);
+      w.send(std::move(ping));
+    } else {
+      t_end_ns_ = util::now_ns();
+    }
+  });
+}
+
+PingPongResult PingPongApp::run(const PingPongParams& params) {
+  remaining_ = params.iterations;
+  iterations_ = params.iterations;
+  payload_bytes_ = params.payload_bytes;
+
+  machine_.run([this](rt::Worker& w) {
+    if (w.id() != 0) return;
+    t_start_ns_ = util::now_ns();
+    rt::Message ping;
+    ping.endpoint = ep_ping_;
+    ping.dst_worker = peer_;
+    ping.src_worker = 0;
+    ping.payload.resize(payload_bytes_);
+    w.send(std::move(ping));
+  });
+
+  PingPongResult res;
+  res.one_way_us = static_cast<double>(t_end_ns_ - t_start_ns_) * 1e-3 /
+                   (2.0 * iterations_);
+  return res;
+}
+
+}  // namespace tram::apps

@@ -1,0 +1,47 @@
+#pragma once
+///
+/// \file pingpong.hpp
+/// \brief Ping-pong microbenchmark (paper Fig. 1).
+///
+/// Measures one-way message time (RTT/2) between two workers on different
+/// nodes, across payload sizes, exposing the alpha-beta regime of the
+/// fabric: flat time for small messages (latency-dominated), growing
+/// linearly once beta * bytes rivals alpha.
+
+#include <cstdint>
+
+#include "runtime/machine.hpp"
+
+namespace tram::apps {
+
+struct PingPongParams {
+  std::size_t payload_bytes = 8;
+  int iterations = 200;
+};
+
+struct PingPongResult {
+  /// Mean one-way time (RTT/2) in microseconds.
+  double one_way_us = 0.0;
+};
+
+/// Requires a machine with at least two nodes; the ping runs between worker
+/// 0 (node 0) and the first worker of node 1.
+class PingPongApp {
+ public:
+  explicit PingPongApp(rt::Machine& machine);
+  PingPongResult run(const PingPongParams& params);
+
+ private:
+  rt::Machine& machine_;
+  EndpointId ep_ping_ = -1;
+  EndpointId ep_pong_ = -1;
+  WorkerId peer_ = kInvalidWorker;
+  // Written by worker 0's thread only.
+  int remaining_ = 0;
+  std::size_t payload_bytes_ = 0;
+  std::uint64_t t_start_ns_ = 0;
+  std::uint64_t t_end_ns_ = 0;
+  int iterations_ = 0;
+};
+
+}  // namespace tram::apps

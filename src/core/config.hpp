@@ -1,0 +1,48 @@
+#pragma once
+///
+/// \file config.hpp
+/// \brief TramLib configuration (scheme, buffer size, flush policy).
+
+#include <cstdint>
+
+#include "core/scheme.hpp"
+
+namespace tram::core {
+
+struct TramConfig {
+  Scheme scheme = Scheme::WPs;
+
+  /// Buffer size g: items per destination buffer. A buffer is shipped as
+  /// one message when it reaches g items (or on flush).
+  std::uint32_t buffer_items = 1024;
+
+  /// Flush automatically whenever the owning worker goes idle. This is what
+  /// bounds item latency for irregular applications (SSSP, PDES) — without
+  /// it, the tail of a stream can sit in a partially-filled buffer forever.
+  bool flush_on_idle = true;
+
+  /// Stamp every item with its insert time and record delivery latency at
+  /// the destination (the paper's latency metric). Adds 8 bytes per item on
+  /// the wire, so benchmarks measuring pure overhead leave it off.
+  bool latency_tracking = false;
+
+  /// Ship TramLib messages as expedited (Charm++ expedited entry methods:
+  /// delivered ahead of ordinary traffic — section III-B, basic
+  /// optimizations).
+  bool expedited = true;
+
+  /// Optional time-based flush: when nonzero, a worker's idle/progress path
+  /// flushes buffers older than this many nanoseconds.
+  std::uint64_t flush_timeout_ns = 0;
+
+  /// Item prioritization (the paper's future-work feature): when nonzero,
+  /// Handle::insert_priority routes items through a second, small set of
+  /// per-worker buffers of this many items, shipped as expedited messages.
+  /// Small buffers fill (and therefore ship) quickly, and expedited
+  /// delivery overtakes bulk traffic at every hop, so urgent items — SSSP
+  /// distance improvements under the threshold, PDES events about to
+  /// become stragglers — see a fraction of the bulk path's latency.
+  std::uint32_t priority_buffer_items = 0;
+};
+
+}  // namespace tram::core

@@ -1,0 +1,132 @@
+#pragma once
+///
+/// \file pp_buffer.hpp
+/// \brief The PP scheme's process-shared aggregation buffer.
+///
+/// One PpBuffer per (source process, destination process). All workers of
+/// the source process insert concurrently; the paper: "this coalescing in
+/// the source process is achieved using atomics". Design:
+///
+///  - state_ packs (epoch << 32) | reserved. A writer claims slot
+///    `reserved` with a bounded CAS (increment only while reserved < g);
+///    the CAS-retry count is the paper's "overhead of atomics".
+///  - committed_ counts completed slot writes. The writer whose commit
+///    makes the buffer full becomes the *sealer*: it copies the slots out,
+///    resets committed_, bumps the epoch with reserved = 0 (reopening the
+///    buffer), and ships the copy. Writers that observe reserved >= g spin
+///    briefly until the sealer reopens.
+///  - flush() (partial send) blocks new claims by CASing reserved to g,
+///    waits for in-flight slot writes to commit, copies out, and reopens.
+///    The epoch in the high bits makes claim CASes ABA-safe across reopen.
+///
+/// The buffer is a single allocation reused for the whole run — no slab
+/// reclamation problem, no ABA, and the memory footprint matches the
+/// paper's g*m*N-per-process formula.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace tram::core {
+
+template <typename Entry>
+class PpBuffer {
+ public:
+  explicit PpBuffer(std::uint32_t capacity)
+      : slots_(capacity), cap_(capacity) {}
+
+  PpBuffer(const PpBuffer&) = delete;
+  PpBuffer& operator=(const PpBuffer&) = delete;
+
+  /// Insert one entry. Returns the full buffer contents when the caller
+  /// became the sealer and must ship them; nullopt otherwise. Thread-safe.
+  /// cas_retries is incremented for every failed claim attempt.
+  std::optional<std::vector<Entry>> insert(const Entry& e,
+                                           std::uint64_t& cas_retries) {
+    for (;;) {
+      std::uint64_t s = state_.load(std::memory_order_acquire);
+      const auto reserved = static_cast<std::uint32_t>(s);
+      if (reserved >= cap_) {
+        // Buffer full; the sealer (or a flusher) is reopening it.
+        util::cpu_relax();
+        ++cas_retries;
+        continue;
+      }
+      if (!state_.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        ++cas_retries;
+        continue;
+      }
+      slots_[reserved] = e;
+      // acq_rel: release publishes our slot write; acquire synchronizes the
+      // sealer with every earlier writer's release.
+      const std::uint32_t c =
+          committed_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (c == cap_) {
+        std::vector<Entry> out(slots_.begin(), slots_.end());
+        committed_.store(0, std::memory_order_relaxed);
+        const std::uint64_t epoch = s >> 32;
+        state_.store((epoch + 1) << 32, std::memory_order_release);
+        return out;
+      }
+      return std::nullopt;
+    }
+  }
+
+  /// Ship whatever is buffered (possibly nothing). Returns the partial
+  /// contents, or nullopt when the buffer is empty. Thread-safe; concurrent
+  /// flushes serialize on an internal lock, and flush-vs-insert races are
+  /// resolved by the same claim protocol.
+  std::optional<std::vector<Entry>> flush() {
+    std::lock_guard<util::Spinlock> guard(flush_mu_);
+    for (;;) {
+      std::uint64_t s = state_.load(std::memory_order_acquire);
+      const auto reserved = static_cast<std::uint32_t>(s);
+      if (reserved == 0) return std::nullopt;
+      if (reserved >= cap_) {
+        // A writer-seal is completing; once it reopens, re-evaluate.
+        util::cpu_relax();
+        continue;
+      }
+      // Close the buffer to new claims.
+      const std::uint64_t closed = (s & ~std::uint64_t{0xffffffff}) | cap_;
+      if (!state_.compare_exchange_weak(s, closed,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        continue;
+      }
+      // Wait for the claimed writers to finish their slot writes.
+      while (committed_.load(std::memory_order_acquire) != reserved) {
+        util::cpu_relax();
+      }
+      std::vector<Entry> out(slots_.begin(), slots_.begin() + reserved);
+      committed_.store(0, std::memory_order_relaxed);
+      const std::uint64_t epoch = s >> 32;
+      state_.store((epoch + 1) << 32, std::memory_order_release);
+      return out;
+    }
+  }
+
+  /// Approximate occupancy (claims in the current epoch, capped).
+  std::uint32_t size_approx() const {
+    const auto r = static_cast<std::uint32_t>(
+        state_.load(std::memory_order_acquire));
+    return r > cap_ ? cap_ : r;
+  }
+
+  std::uint32_t capacity() const noexcept { return cap_; }
+
+ private:
+  std::vector<Entry> slots_;
+  const std::uint32_t cap_;
+  /// (epoch << 32) | reserved-slot-count.
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> state_{0};
+  alignas(util::kCacheLine) std::atomic<std::uint32_t> committed_{0};
+  util::Spinlock flush_mu_;
+};
+
+}  // namespace tram::core

@@ -1,0 +1,33 @@
+#include "core/scheme.hpp"
+
+namespace tram::core {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::None: return "None";
+    case Scheme::WW: return "WW";
+    case Scheme::WPs: return "WPs";
+    case Scheme::WsP: return "WsP";
+    case Scheme::PP: return "PP";
+  }
+  return "?";
+}
+
+std::optional<Scheme> parse_scheme(std::string_view name) {
+  if (name == "None" || name == "none") return Scheme::None;
+  if (name == "WW" || name == "ww") return Scheme::WW;
+  if (name == "WPs" || name == "wps") return Scheme::WPs;
+  if (name == "WsP" || name == "wsp") return Scheme::WsP;
+  if (name == "PP" || name == "pp") return Scheme::PP;
+  return std::nullopt;
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::None, Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::PP};
+}
+
+std::vector<Scheme> aggregating_schemes() {
+  return {Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::PP};
+}
+
+}  // namespace tram::core

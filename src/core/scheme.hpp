@@ -1,0 +1,49 @@
+#pragma once
+///
+/// \file scheme.hpp
+/// \brief The aggregation schemes compared in the paper (section III-B).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tram::core {
+
+/// Who buffers, and at what level, on each side.
+enum class Scheme {
+  /// No aggregation: every item is its own message (baseline).
+  None,
+  /// Source worker keeps one buffer per destination *worker* (Fig. 4).
+  /// SMP-unaware: w workers hold w-1 buffers each.
+  WW,
+  /// Source worker keeps one buffer per destination *process*; the
+  /// receiving PE groups items by destination worker (Fig. 5).
+  WPs,
+  /// Source worker keeps one buffer per destination *process* and groups
+  /// (counting-sorts) the items by destination worker before sending
+  /// (Fig. 6); the receiver scatters pre-built segments.
+  WsP,
+  /// The whole source *process* shares one buffer per destination process;
+  /// workers claim slots with atomics (Fig. 7).
+  PP,
+};
+
+const char* to_string(Scheme s);
+std::optional<Scheme> parse_scheme(std::string_view name);
+
+/// All schemes, in the order the paper's figures list them.
+std::vector<Scheme> all_schemes();
+/// The aggregating schemes (everything but None).
+std::vector<Scheme> aggregating_schemes();
+
+/// True for schemes whose source-side buffers target processes (and whose
+/// receiver must therefore route items to individual workers).
+inline bool process_addressed(Scheme s) {
+  return s == Scheme::WPs || s == Scheme::WsP || s == Scheme::PP;
+}
+
+/// True for schemes that share source-side buffers across a process.
+inline bool shares_source_buffers(Scheme s) { return s == Scheme::PP; }
+
+}  // namespace tram::core

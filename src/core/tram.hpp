@@ -1,0 +1,644 @@
+#pragma once
+///
+/// \file tram.hpp
+/// \brief TramLib: the shared memory-aware message aggregation library.
+///
+/// Public API (SPMD, mirroring the paper's Charm++ library):
+///
+///   TramDomain<Update> tram(machine, {.scheme = Scheme::WPs,
+///                                     .buffer_items = 1024},
+///                           [](rt::Worker& w, const Update& u) {
+///                             /* delivered on the destination worker */
+///                           });
+///   machine.run([&](rt::Worker& self) {
+///     auto& t = tram.on(self);
+///     t.insert(dest_worker, Update{...});   // aggregated per the scheme
+///     ...
+///     t.flush_all();                        // ship partial buffers
+///   });
+///
+/// At initialization the user passes the delivery function ("a pointer to
+/// the charm++ object and function to which data needs to be delivered");
+/// inserts check the destination buffer's fill against g and ship a message
+/// when full; flushed messages are resized to their actual occupancy; idle
+/// workers flush automatically when flush_on_idle is set.
+///
+/// The five schemes differ only in the buffer granularity and the
+/// destination-side routing — see scheme.hpp and the paper's Figs. 4-7.
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pp_buffer.hpp"
+#include "core/tram_stats.hpp"
+#include "core/wire.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/message.hpp"
+#include "runtime/worker.hpp"
+#include "util/timebase.hpp"
+
+namespace tram::core {
+
+/// Sequence for SharedStore keys of PP state. Must be shared across ALL
+/// TramDomain<T> instantiations: a function-local static inside the
+/// template would give every item type its own counter, making two domains
+/// of different item types collide on the same key — and SharedStore would
+/// then hand one domain the other's buffers under the wrong type.
+inline std::atomic<std::uint64_t> tram_pp_domain_seq{0};
+
+template <typename Item>
+  requires std::is_trivially_copyable_v<Item>
+class TramDomain {
+ public:
+  using Entry = WireEntry<Item>;
+  /// Runs on the destination worker's thread for every delivered item.
+  using DeliverFn = std::function<void(rt::Worker&, const Item&)>;
+
+  class Handle;
+
+  TramDomain(rt::Machine& machine, TramConfig cfg, DeliverFn deliver)
+      : machine_(machine),
+        cfg_(cfg),
+        deliver_(std::move(deliver)),
+        topo_(machine.topology()) {
+    if (topo_.workers_per_proc() > kMaxLocalWorkers) {
+      throw std::invalid_argument("TramDomain: workers_per_proc exceeds "
+                                  "kMaxLocalWorkers");
+    }
+    register_endpoints();
+    // Per-process shared PP state (allocated through the process's shared
+    // store: PP's cross-worker buffers are process-local shared memory).
+    if (cfg_.scheme == Scheme::PP) {
+      const std::string key =
+          "tram_pp_domain_" +
+          std::to_string(tram_pp_domain_seq.fetch_add(1));
+      pp_states_.resize(static_cast<std::size_t>(topo_.procs()));
+      for (ProcId p = 0; p < topo_.procs(); ++p) {
+        pp_states_[p] = machine.process(p).shared().template get_or_create<PpState>(
+            key, [&] {
+              return new PpState(static_cast<std::uint32_t>(topo_.procs()),
+                                 cfg_.buffer_items);
+            });
+      }
+    }
+    handles_.reserve(static_cast<std::size_t>(topo_.workers()));
+    for (WorkerId w = 0; w < topo_.workers(); ++w) {
+      handles_.push_back(std::unique_ptr<Handle>(
+          new Handle(*this, machine.worker(w))));
+    }
+    install_hooks();
+  }
+
+  TramDomain(const TramDomain&) = delete;
+  TramDomain& operator=(const TramDomain&) = delete;
+
+  /// This worker's aggregation handle.
+  Handle& on(rt::Worker& w) {
+    return *handles_[static_cast<std::size_t>(w.id())];
+  }
+  Handle& handle(WorkerId w) { return *handles_[static_cast<std::size_t>(w)]; }
+
+  const TramConfig& config() const noexcept { return cfg_; }
+  rt::Machine& machine() noexcept { return machine_; }
+
+  /// Merged stats across all workers (call after machine.run returns).
+  WorkerTramStats aggregate_stats() const {
+    WorkerTramStats total;
+    for (const auto& h : handles_) total.merge(h->stats_);
+    return total;
+  }
+  const WorkerTramStats& worker_stats(WorkerId w) const {
+    return handles_[static_cast<std::size_t>(w)]->stats_;
+  }
+
+  /// Actual bytes reserved in aggregation buffers, machine-wide (compare
+  /// with the section III-C formulas).
+  std::uint64_t allocated_buffer_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& h : handles_) {
+      total += h->reserved_buffers_ * std::uint64_t{cfg_.buffer_items} *
+               sizeof(Entry);
+    }
+    for (const auto& pp : pp_states_) {
+      if (pp) {
+        total += static_cast<std::uint64_t>(pp->buffers.size()) *
+                 cfg_.buffer_items * sizeof(Entry);
+      }
+    }
+    return total;
+  }
+
+  /// Zero all counters between benchmark trials (machine must be idle).
+  void reset_stats() {
+    for (auto& h : handles_) h->stats_ = WorkerTramStats{};
+  }
+
+ private:
+  friend class Handle;
+
+  /// Shared source-side buffers for the PP scheme: one PpBuffer per
+  /// destination process, plus the process's pending-item count.
+  struct PpState {
+    PpState(std::uint32_t nprocs, std::uint32_t g) {
+      buffers.reserve(nprocs);
+      for (std::uint32_t i = 0; i < nprocs; ++i) {
+        buffers.push_back(std::make_unique<PpBuffer<Entry>>(g));
+      }
+    }
+    std::vector<std::unique_ptr<PpBuffer<Entry>>> buffers;
+    std::atomic<std::uint64_t> pending{0};
+  };
+
+  void register_endpoints() {
+    // Final-hop delivery: a batch of entries addressed to this worker.
+    ep_direct_ = machine_.register_endpoint(
+        [this](rt::Worker& w, rt::Message&& m) {
+          auto entries = rt::decode_payload<Entry>(m);
+          handle(w.id()).deliver_batch(w, entries);
+        });
+    // Process-addressed unsorted batch (WPs, PP): the receiving PE groups
+    // items by destination worker and local-sends each group.
+    ep_grouped_ = machine_.register_endpoint(
+        [this](rt::Worker& w, rt::Message&& m) {
+          if (m.payload.size() % sizeof(Entry) != 0) {
+            std::fprintf(stderr,
+                         "TRAM truncated grouped payload: %zu bytes "
+                         "(entry=%zu)\n",
+                         m.payload.size(), sizeof(Entry));
+            std::abort();
+          }
+          auto entries = rt::decode_payload<Entry>(m);
+          handle(w.id()).regroup_and_deliver(w, entries);
+        });
+    // Process-addressed pre-sorted batch (WsP): scatter segments.
+    ep_segmented_ = machine_.register_endpoint(
+        [this](rt::Worker& w, rt::Message&& m) {
+          handle(w.id()).scatter_segments(w, m);
+        });
+  }
+
+  void install_hooks() {
+    for (WorkerId w = 0; w < topo_.workers(); ++w) {
+      Handle* h = handles_[static_cast<std::size_t>(w)].get();
+      rt::Worker& worker = machine_.worker(w);
+      worker.add_pending_counter([h] {
+        return h->pending_.load(std::memory_order_acquire);
+      });
+      if (cfg_.scheme == Scheme::PP && topo_.local_rank(w) == 0) {
+        PpState* pp = pp_states_[topo_.proc_of_worker(w)].get();
+        worker.add_pending_counter([pp] {
+          return pp->pending.load(std::memory_order_acquire);
+        });
+      }
+      if (cfg_.flush_on_idle && cfg_.scheme != Scheme::None) {
+        worker.add_idle_hook([h](rt::Worker&) { h->flush_all(); });
+      }
+    }
+  }
+
+  rt::Machine& machine_;
+  TramConfig cfg_;
+  DeliverFn deliver_;
+  util::Topology topo_;
+  EndpointId ep_direct_ = -1;
+  EndpointId ep_grouped_ = -1;
+  EndpointId ep_segmented_ = -1;
+  std::vector<std::shared_ptr<PpState>> pp_states_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+
+ public:
+  /// Per-worker aggregation endpoint. Obtain via TramDomain::on(worker);
+  /// insert/flush_all must be called from the owning worker's thread.
+  class Handle {
+   public:
+    /// Aggregate one item toward the given destination worker.
+    void insert(WorkerId dest, const Item& item) {
+      auto& d = *domain_;
+      ++stats_.items_inserted;
+      Entry e;
+      e.birth_ns = d.cfg_.latency_tracking ? util::now_ns() : 0;
+      e.dest = dest;
+      e.item = item;
+
+      switch (d.cfg_.scheme) {
+        case Scheme::None: {
+          // One message per item: the unaggregated baseline.
+          rt::Message m;
+          m.endpoint = d.ep_direct_;
+          m.dst_worker = dest;
+          m.src_worker = self_->id();
+          m.expedited = d.cfg_.expedited;
+          m.payload = rt::encode_payload<Entry>(e);
+          ++stats_.msgs_shipped;
+          stats_.occupancy_at_ship.add(1.0);
+          self_->send(std::move(m));
+          return;
+        }
+        case Scheme::WW: {
+          auto& buf = bufs_[static_cast<std::size_t>(dest)];
+          buffer_push(buf, e);
+          if (buf.size() >= d.cfg_.buffer_items) {
+            ship_direct(dest, buf, /*from_flush=*/false);
+          }
+          break;
+        }
+        case Scheme::WPs:
+        case Scheme::WsP: {
+          const ProcId dp = d.topo_.proc_of_worker(dest);
+          auto& buf = bufs_[static_cast<std::size_t>(dp)];
+          buffer_push(buf, e);
+          if (buf.size() >= d.cfg_.buffer_items) {
+            ship_proc(dp, buf, /*from_flush=*/false);
+          }
+          break;
+        }
+        case Scheme::PP: {
+          const ProcId dp = d.topo_.proc_of_worker(dest);
+          auto* pp = d.pp_states_[self_proc_].get();
+          pp->pending.fetch_add(1, std::memory_order_release);
+          auto sealed = pp->buffers[static_cast<std::size_t>(dp)]->insert(
+              e, stats_.pp_cas_retries);
+          if (sealed) {
+            ship_pp(dp, *sealed, /*from_flush=*/false);
+          }
+          break;
+        }
+      }
+      maybe_timeout_flush();
+    }
+
+    /// Aggregate an urgent item (the paper's future-work prioritization).
+    /// Routed through small, expedited buffers so it ships and is
+    /// delivered well ahead of bulk insert() traffic. Falls back to
+    /// insert() when priority buffering is not configured.
+    void insert_priority(WorkerId dest, const Item& item) {
+      auto& d = *domain_;
+      const std::uint32_t g_hi = d.cfg_.priority_buffer_items;
+      if (g_hi == 0 || d.cfg_.scheme == Scheme::None) {
+        insert(dest, item);
+        return;
+      }
+      ++stats_.items_inserted;
+      ++stats_.priority_items;
+      Entry e;
+      e.birth_ns = d.cfg_.latency_tracking ? util::now_ns() : 0;
+      e.dest = dest;
+      e.item = item;
+      if (d.cfg_.scheme == Scheme::WW) {
+        auto& buf = pri_bufs_[static_cast<std::size_t>(dest)];
+        pri_push(buf, e, g_hi);
+        if (buf.size() >= g_hi) ship_priority_direct(dest, buf);
+      } else {
+        const ProcId dp = d.topo_.proc_of_worker(dest);
+        auto& buf = pri_bufs_[static_cast<std::size_t>(dp)];
+        pri_push(buf, e, g_hi);
+        if (buf.size() >= g_hi) ship_priority_proc(dp, buf);
+      }
+    }
+
+    /// Ship every partially filled buffer ("flush accumulated items").
+    void flush_all() {
+      auto& d = *domain_;
+      // Priority buffers first: urgent stragglers leave before bulk.
+      if (!pri_bufs_.empty()) {
+        if (d.cfg_.scheme == Scheme::WW) {
+          for (WorkerId dest = 0;
+               dest < static_cast<WorkerId>(pri_bufs_.size()); ++dest) {
+            auto& buf = pri_bufs_[static_cast<std::size_t>(dest)];
+            if (!buf.empty()) ship_priority_direct(dest, buf);
+          }
+        } else {
+          for (ProcId dp = 0; dp < static_cast<ProcId>(pri_bufs_.size());
+               ++dp) {
+            auto& buf = pri_bufs_[static_cast<std::size_t>(dp)];
+            if (!buf.empty()) ship_priority_proc(dp, buf);
+          }
+        }
+      }
+      switch (d.cfg_.scheme) {
+        case Scheme::None:
+          return;
+        case Scheme::WW:
+          for (WorkerId dest = 0; dest < static_cast<WorkerId>(bufs_.size());
+               ++dest) {
+            auto& buf = bufs_[static_cast<std::size_t>(dest)];
+            if (!buf.empty()) ship_direct(dest, buf, /*from_flush=*/true);
+          }
+          break;
+        case Scheme::WPs:
+        case Scheme::WsP:
+          for (ProcId dp = 0; dp < static_cast<ProcId>(bufs_.size()); ++dp) {
+            auto& buf = bufs_[static_cast<std::size_t>(dp)];
+            if (!buf.empty()) ship_proc(dp, buf, /*from_flush=*/true);
+          }
+          break;
+        case Scheme::PP: {
+          auto* pp = d.pp_states_[self_proc_].get();
+          for (ProcId dp = 0; dp < static_cast<ProcId>(pp->buffers.size());
+               ++dp) {
+            auto partial = pp->buffers[static_cast<std::size_t>(dp)]->flush();
+            if (partial && !partial->empty()) {
+              ship_pp(dp, *partial, /*from_flush=*/true);
+            }
+          }
+          break;
+        }
+      }
+      last_flush_ns_ = util::now_ns();
+    }
+
+    const WorkerTramStats& stats() const noexcept { return stats_; }
+    /// Items currently buffered at this worker (excludes PP shared state).
+    std::uint64_t pending() const noexcept {
+      return pending_.load(std::memory_order_acquire);
+    }
+
+   private:
+    friend class TramDomain;
+
+    Handle(TramDomain& d, rt::Worker& self)
+        : domain_(&d),
+          self_(&self),
+          self_proc_(d.topo_.proc_of_worker(self.id())) {
+      switch (d.cfg_.scheme) {
+        case Scheme::WW:
+          bufs_.resize(static_cast<std::size_t>(d.topo_.workers()));
+          break;
+        case Scheme::WPs:
+        case Scheme::WsP:
+          bufs_.resize(static_cast<std::size_t>(d.topo_.procs()));
+          break;
+        default:
+          break;
+      }
+      if (d.cfg_.priority_buffer_items > 0 &&
+          d.cfg_.scheme != Scheme::None) {
+        // Priority buffers are always worker-local (even under PP: sharing
+        // would reintroduce the very latency the priority path removes),
+        // at the scheme's destination granularity.
+        pri_bufs_.resize(d.cfg_.scheme == Scheme::WW
+                             ? static_cast<std::size_t>(d.topo_.workers())
+                             : static_cast<std::size_t>(d.topo_.procs()));
+      }
+    }
+
+    void pri_push(std::vector<Entry>& buf, const Entry& e,
+                  std::uint32_t g_hi) {
+      if (buf.capacity() == 0) buf.reserve(g_hi);
+      buf.push_back(e);
+      pending_.fetch_add(1, std::memory_order_release);
+    }
+
+    /// Priority ship, WW granularity: straight to the destination worker,
+    /// always expedited.
+    void ship_priority_direct(WorkerId dest, std::vector<Entry>& buf) {
+      auto& d = *domain_;
+      const std::size_t n = buf.size();
+      rt::Message m;
+      m.endpoint = d.ep_direct_;
+      m.dst_worker = dest;
+      m.src_worker = self_->id();
+      m.expedited = true;
+      m.payload = rt::encode_payload(std::span<const Entry>(buf));
+      buf.clear();
+      account_ship(n, /*from_flush=*/false);
+      ++stats_.priority_msgs;
+      self_->send(std::move(m));
+      pending_.fetch_sub(n, std::memory_order_release);
+    }
+
+    /// Priority ship, process granularity: expedited grouped message (the
+    /// receiver groups; priority batches are small, so the grouping cost
+    /// is negligible even for WsP, which skips its source sort here).
+    void ship_priority_proc(ProcId dp, std::vector<Entry>& buf) {
+      auto& d = *domain_;
+      const std::size_t n = buf.size();
+      rt::Message m;
+      m.endpoint = d.ep_grouped_;
+      m.src_worker = self_->id();
+      m.expedited = true;
+      m.payload = rt::encode_payload(std::span<const Entry>(buf));
+      buf.clear();
+      account_ship(n, /*from_flush=*/false);
+      ++stats_.priority_msgs;
+      self_->send_to_proc(dp, std::move(m));
+      pending_.fetch_sub(n, std::memory_order_release);
+    }
+
+    void buffer_push(std::vector<Entry>& buf, const Entry& e) {
+      if (buf.capacity() == 0) {
+        buf.reserve(domain_->cfg_.buffer_items);
+        ++reserved_buffers_;
+      }
+      buf.push_back(e);
+      pending_.fetch_add(1, std::memory_order_release);
+    }
+
+    void maybe_timeout_flush() {
+      const auto& cfg = domain_->cfg_;
+      if (cfg.flush_timeout_ns == 0) return;
+      if ((++insert_tick_ & 0x3ff) != 0) return;  // check every 1024 inserts
+      const std::uint64_t now = util::now_ns();
+      if (now - last_flush_ns_ > cfg.flush_timeout_ns) flush_all();
+    }
+
+    /// WW ship: message straight to the destination worker.
+    void ship_direct(WorkerId dest, std::vector<Entry>& buf,
+                     bool from_flush) {
+      auto& d = *domain_;
+      const std::size_t n = buf.size();
+      rt::Message m;
+      m.endpoint = d.ep_direct_;
+      m.dst_worker = dest;
+      m.src_worker = self_->id();
+      m.expedited = d.cfg_.expedited;
+      m.payload = rt::encode_payload(std::span<const Entry>(buf));
+      buf.clear();
+      account_ship(n, from_flush);
+      self_->send(std::move(m));
+      pending_.fetch_sub(n, std::memory_order_release);
+    }
+
+    /// WPs/WsP ship: message to the destination process (WsP sorts first).
+    void ship_proc(ProcId dp, std::vector<Entry>& buf, bool from_flush) {
+      auto& d = *domain_;
+      const std::size_t n = buf.size();
+      rt::Message m;
+      m.src_worker = self_->id();
+      m.expedited = d.cfg_.expedited;
+      if (d.cfg_.scheme == Scheme::WsP) {
+        m.endpoint = d.ep_segmented_;
+        m.payload = build_segmented_payload(buf);
+      } else {
+        m.endpoint = d.ep_grouped_;
+        m.payload = rt::encode_payload(std::span<const Entry>(buf));
+      }
+      buf.clear();
+      account_ship(n, from_flush);
+      self_->send_to_proc(dp, std::move(m));
+      pending_.fetch_sub(n, std::memory_order_release);
+    }
+
+    /// PP ship: the sealed/flushed shared-buffer contents.
+    void ship_pp(ProcId dp, const std::vector<Entry>& entries,
+                 bool from_flush) {
+      auto& d = *domain_;
+      const std::size_t n = entries.size();
+      rt::Message m;
+      m.endpoint = d.ep_grouped_;
+      m.src_worker = self_->id();
+      m.expedited = d.cfg_.expedited;
+      m.payload = rt::encode_payload(std::span<const Entry>(entries));
+      account_ship(n, from_flush);
+      self_->send_to_proc(dp, std::move(m));
+      d.pp_states_[self_proc_]->pending.fetch_sub(
+          n, std::memory_order_release);
+    }
+
+    void account_ship(std::size_t n, bool from_flush) {
+      ++stats_.msgs_shipped;
+      if (from_flush) ++stats_.flush_msgs;
+      stats_.occupancy_at_ship.add(static_cast<double>(n));
+    }
+
+    /// Source-side grouping for WsP: counting sort by destination local
+    /// rank, prefixed by a SegmentHeader of per-rank counts.
+    std::vector<std::byte> build_segmented_payload(
+        const std::vector<Entry>& buf) {
+      auto& d = *domain_;
+      const int t = d.topo_.workers_per_proc();
+      SegmentHeader header;
+      for (const Entry& e : buf) {
+        header.counts[d.topo_.local_rank(e.dest)]++;
+      }
+      std::uint32_t offsets[kMaxLocalWorkers];
+      std::uint32_t acc = 0;
+      for (int r = 0; r < t; ++r) {
+        offsets[r] = acc;
+        acc += header.counts[r];
+      }
+      std::vector<Entry> sorted(buf.size());
+      for (const Entry& e : buf) {
+        sorted[offsets[d.topo_.local_rank(e.dest)]++] = e;
+      }
+      std::vector<std::byte> payload(sizeof(SegmentHeader) +
+                                     sorted.size() * sizeof(Entry));
+      std::memcpy(payload.data(), &header, sizeof header);
+      if (!sorted.empty()) {
+        std::memcpy(payload.data() + sizeof header, sorted.data(),
+                    sorted.size() * sizeof(Entry));
+      }
+      return payload;
+    }
+
+    /// Final-hop delivery on the destination worker.
+    void deliver_batch(rt::Worker& w, std::span<const Entry> entries) {
+      auto& d = *domain_;
+      const bool track = d.cfg_.latency_tracking;
+      for (const Entry& e : entries) {
+        if (e.dest != w.id()) {
+          std::fprintf(stderr,
+                       "TRAM misroute: entry dest=%d delivered on worker=%d "
+                       "(scheme=%s)\n",
+                       e.dest, w.id(), to_string(d.cfg_.scheme));
+          std::abort();
+        }
+        if (track && e.birth_ns != 0) {
+          stats_.latency.add(util::now_ns() - e.birth_ns);
+        }
+        ++stats_.items_delivered;
+        d.deliver_(w, e.item);
+      }
+    }
+
+    /// Destination-side grouping (WPs, PP): deliver our own items, bucket
+    /// the rest per local worker and local-send each bucket.
+    void regroup_and_deliver(rt::Worker& w, std::span<const Entry> entries) {
+      auto& d = *domain_;
+      const int t = d.topo_.workers_per_proc();
+      const ProcId proc = d.topo_.proc_of_worker(w.id());
+      if (t == 1) {
+        deliver_batch(w, entries);
+        return;
+      }
+      // Group: one pass to bucket (the O(g + t) delay of section III-C).
+      std::vector<std::vector<Entry>> groups(static_cast<std::size_t>(t));
+      for (const Entry& e : entries) {
+        groups[static_cast<std::size_t>(d.topo_.local_rank(e.dest))]
+            .push_back(e);
+      }
+      const LocalWorkerId own = d.topo_.local_rank(w.id());
+      for (int r = 0; r < t; ++r) {
+        auto& g = groups[static_cast<std::size_t>(r)];
+        if (g.empty()) continue;
+        if (r == own) {
+          deliver_batch(w, g);
+          continue;
+        }
+        rt::Message m;
+        m.endpoint = d.ep_direct_;
+        m.dst_worker = d.topo_.worker_at(proc, r);
+        m.src_worker = w.id();
+        m.expedited = d.cfg_.expedited;
+        m.payload = rt::encode_payload(std::span<const Entry>(g));
+        ++stats_.regroup_msgs;
+        w.send(std::move(m));
+      }
+    }
+
+    /// Destination-side scatter (WsP): segments are pre-sorted, so this is
+    /// O(t) message construction with one memcpy per segment.
+    void scatter_segments(rt::Worker& w, const rt::Message& msg) {
+      auto& d = *domain_;
+      const int t = d.topo_.workers_per_proc();
+      const ProcId proc = d.topo_.proc_of_worker(w.id());
+      std::span<const std::byte> bytes(msg.payload);
+      SegmentHeader header;
+      std::memcpy(&header, bytes.data(), sizeof header);
+      auto entries = rt::decode_payload<Entry>(bytes.subspan(sizeof header));
+      const LocalWorkerId own = d.topo_.local_rank(w.id());
+      std::size_t offset = 0;
+      for (int r = 0; r < t; ++r) {
+        const std::uint32_t count = header.counts[r];
+        if (count == 0) continue;
+        auto segment = entries.subspan(offset, count);
+        offset += count;
+        if (r == own) {
+          deliver_batch(w, segment);
+          continue;
+        }
+        rt::Message m;
+        m.endpoint = d.ep_direct_;
+        m.dst_worker = d.topo_.worker_at(proc, r);
+        m.src_worker = w.id();
+        m.expedited = d.cfg_.expedited;
+        m.payload = rt::encode_payload(segment);
+        ++stats_.regroup_msgs;
+        w.send(std::move(m));
+      }
+    }
+
+    TramDomain* domain_;
+    rt::Worker* self_;
+    ProcId self_proc_;
+    std::vector<std::vector<Entry>> bufs_;
+    std::vector<std::vector<Entry>> pri_bufs_;
+    std::atomic<std::uint64_t> pending_{0};
+    WorkerTramStats stats_;
+    std::uint64_t reserved_buffers_ = 0;
+    std::uint64_t insert_tick_ = 0;
+    std::uint64_t last_flush_ns_ = 0;
+  };
+};
+
+}  // namespace tram::core

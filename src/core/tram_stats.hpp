@@ -1,0 +1,118 @@
+#pragma once
+///
+/// \file tram_stats.hpp
+/// \brief TramLib instrumentation, and the paper's section III-C cost
+/// formulas as checkable functions.
+
+#include <cstdint>
+
+#include "core/scheme.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/stats.hpp"
+#include "util/topology.hpp"
+
+namespace tram::core {
+
+/// Per-worker aggregation counters (owned by one worker; merged after a
+/// run, so plain fields suffice except where the QD thread also reads).
+struct WorkerTramStats {
+  std::uint64_t items_inserted = 0;
+  std::uint64_t items_delivered = 0;
+  /// Buffers shipped as messages by this worker (full-buffer sends).
+  std::uint64_t msgs_shipped = 0;
+  /// Subset of msgs_shipped triggered by flush (partially full).
+  std::uint64_t flush_msgs = 0;
+  /// Local regroup messages generated at the destination (WPs/WsP/PP).
+  std::uint64_t regroup_msgs = 0;
+  /// CAS retries while claiming PP slots (contention indicator).
+  std::uint64_t pp_cas_retries = 0;
+  /// Items routed through the priority path (insert_priority).
+  std::uint64_t priority_items = 0;
+  /// Expedited messages shipped by the priority path.
+  std::uint64_t priority_msgs = 0;
+  /// Items per shipped message, observed at ship time.
+  util::RunningStats occupancy_at_ship;
+  /// Item latency (insert -> delivery), when latency_tracking is on.
+  util::LatencyHistogram latency;
+
+  void merge(const WorkerTramStats& o) {
+    items_inserted += o.items_inserted;
+    items_delivered += o.items_delivered;
+    msgs_shipped += o.msgs_shipped;
+    flush_msgs += o.flush_msgs;
+    regroup_msgs += o.regroup_msgs;
+    pp_cas_retries += o.pp_cas_retries;
+    priority_items += o.priority_items;
+    priority_msgs += o.priority_msgs;
+    occupancy_at_ship.merge(o.occupancy_at_ship);
+    latency.merge(o.latency);
+  }
+};
+
+/// ---- Section III-C formulas ----
+/// Notation: g items per buffer, m bytes per item, N processes, t workers
+/// per process, z items sent per source PE.
+
+/// Buffer memory per source core (bytes).
+inline std::uint64_t buffer_bytes_per_core(Scheme s, std::uint64_t g,
+                                           std::uint64_t m, std::uint64_t N,
+                                           std::uint64_t t) {
+  switch (s) {
+    case Scheme::WW: return g * m * N * t;     // one buffer per dest PE
+    case Scheme::WPs:
+    case Scheme::WsP: return g * m * N;        // one buffer per dest process
+    case Scheme::PP: return 0;                 // buffers live on the process
+    case Scheme::None: return 0;
+  }
+  return 0;
+}
+
+/// Buffer memory per source process (bytes).
+inline std::uint64_t buffer_bytes_per_process(Scheme s, std::uint64_t g,
+                                              std::uint64_t m,
+                                              std::uint64_t N,
+                                              std::uint64_t t) {
+  switch (s) {
+    case Scheme::WW: return g * m * N * t * t;
+    case Scheme::WPs:
+    case Scheme::WsP: return g * m * N * t;
+    case Scheme::PP: return g * m * N;  // shared: one buffer per dest process
+    case Scheme::None: return 0;
+  }
+  return 0;
+}
+
+/// Bounds on messages sent per source unit for z items from each source PE
+/// (per PE for WW/WPs/WsP; per process for PP with z*t items contributed).
+struct MessageBounds {
+  std::uint64_t lower = 0;
+  std::uint64_t upper = 0;
+};
+
+inline MessageBounds messages_per_source(Scheme s, std::uint64_t z,
+                                         std::uint64_t g, std::uint64_t N,
+                                         std::uint64_t t) {
+  MessageBounds b;
+  switch (s) {
+    case Scheme::WW:
+      b.lower = z / g;
+      b.upper = z / g + N * t;
+      break;
+    case Scheme::WPs:
+    case Scheme::WsP:
+      b.lower = z / g;
+      b.upper = z / g + N;
+      break;
+    case Scheme::PP:
+      // Source-process aggregation: z here is items per source process.
+      b.lower = z / g;
+      b.upper = z / g + N;
+      break;
+    case Scheme::None:
+      b.lower = b.upper = z;
+      break;
+  }
+  return b;
+}
+
+}  // namespace tram::core

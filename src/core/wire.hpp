@@ -1,0 +1,42 @@
+#pragma once
+///
+/// \file wire.hpp
+/// \brief On-the-wire representation of aggregated items.
+///
+/// Every scheme ships arrays of WireEntry<Item>. The paper's per-process
+/// schemes must carry the destination worker alongside the item
+/// ("<item, dest_w>" in Figs. 5-7); we carry it uniformly (WW pays 4 unused
+/// bytes, far below alpha-equivalent cost) plus an optional birth timestamp
+/// for the latency metric. Item must be trivially copyable.
+///
+/// WsP messages prepend a SegmentHeader: per-local-worker counts, so the
+/// receiver scatters pre-grouped segments in O(t) instead of scanning g
+/// items.
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/types.hpp"
+
+namespace tram::core {
+
+template <typename Item>
+  requires std::is_trivially_copyable_v<Item>
+struct WireEntry {
+  /// Insert timestamp (ns) when latency tracking is on; 0 otherwise.
+  std::uint64_t birth_ns = 0;
+  /// Global id of the destination worker.
+  WorkerId dest = kInvalidWorker;
+  Item item{};
+};
+
+/// Fixed-size prefix of a WsP message: entry counts per destination local
+/// rank. kMaxLocalWorkers bounds workers-per-process (the paper uses up to
+/// 32; 64 leaves headroom).
+inline constexpr int kMaxLocalWorkers = 64;
+
+struct SegmentHeader {
+  std::uint32_t counts[kMaxLocalWorkers] = {};
+};
+
+}  // namespace tram::core

@@ -1,0 +1,27 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace tram::graph {
+
+Csr::Csr(Vertex num_vertices, std::span<const Edge> edges) : n_(num_vertices) {
+  offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : edges) offsets_[e.from + 1]++;
+  for (Vertex v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  targets_.resize(edges.size());
+  weights_.resize(edges.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    const std::size_t i = cursor[e.from]++;
+    targets_[i] = e.to;
+    weights_[i] = e.weight;
+  }
+}
+
+std::size_t Csr::max_degree() const {
+  std::size_t best = 0;
+  for (Vertex v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+}  // namespace tram::graph

@@ -1,0 +1,85 @@
+#pragma once
+///
+/// \file csr.hpp
+/// \brief Compressed sparse row graph, shared read-only across workers.
+///
+/// The SSSP benchmark follows the paper's SMP argument: "large read-only
+/// data structures can be shared among workers without making multiple
+/// copies" — one CSR per machine, every worker reads it directly.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tram::graph {
+
+using Vertex = std::uint32_t;
+using Weight = std::uint32_t;
+
+struct Edge {
+  Vertex from;
+  Vertex to;
+  Weight weight;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+  /// Build from an edge list (directed; callers add both directions for an
+  /// undirected graph). Duplicates and self-loops are kept as-is.
+  Csr(Vertex num_vertices, std::span<const Edge> edges);
+
+  Vertex num_vertices() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return targets_.size(); }
+
+  /// Out-neighbors of v, parallel to weights(v).
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+  std::span<const Weight> weights(Vertex v) const {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+  std::size_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::size_t max_degree() const;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::size_t> offsets_;  // n_+1 entries
+  std::vector<Vertex> targets_;
+  std::vector<Weight> weights_;
+};
+
+/// Block partition of [0, n) over `parts` owners: owner i holds a
+/// contiguous range; sizes differ by at most one.
+struct BlockPartition {
+  BlockPartition(std::uint64_t n, int parts)
+      : n_(n), parts_(parts), base_(n / static_cast<std::uint64_t>(parts)),
+        extra_(n % static_cast<std::uint64_t>(parts)) {}
+
+  int owner(std::uint64_t v) const {
+    // First `extra_` parts have base_+1 elements.
+    const std::uint64_t big = extra_ * (base_ + 1);
+    if (v < big) return static_cast<int>(v / (base_ + 1));
+    return static_cast<int>(extra_ + (v - big) / base_);
+  }
+  std::uint64_t begin(int p) const {
+    const auto pp = static_cast<std::uint64_t>(p);
+    if (pp <= extra_) return pp * (base_ + 1);
+    return extra_ * (base_ + 1) + (pp - extra_) * base_;
+  }
+  std::uint64_t end(int p) const { return begin(p + 1); }
+  std::uint64_t size(int p) const { return end(p) - begin(p); }
+  std::uint64_t total() const { return n_; }
+  int parts() const { return parts_; }
+
+ private:
+  std::uint64_t n_;
+  int parts_;
+  std::uint64_t base_;
+  std::uint64_t extra_;
+};
+
+}  // namespace tram::graph

@@ -1,0 +1,92 @@
+#include "graph/generator.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tram::graph {
+
+namespace {
+
+Weight random_weight(util::Xoshiro256& rng, Weight max_weight) {
+  return static_cast<Weight>(1 + rng.below(max_weight));
+}
+
+void maybe_mirror(std::vector<Edge>& edges, bool symmetric) {
+  if (!symmetric) return;
+  const std::size_t n = edges.size();
+  edges.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back({edges[i].to, edges[i].from, edges[i].weight});
+  }
+}
+
+}  // namespace
+
+std::vector<Edge> generate_uniform(const GeneratorParams& p) {
+  util::Xoshiro256 rng = util::Xoshiro256::for_stream(p.seed, 0, /*purpose=*/1);
+  const auto num_edges = static_cast<std::size_t>(
+      static_cast<double>(p.num_vertices) * p.avg_degree);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges * (p.symmetric ? 2 : 1));
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const auto from = static_cast<Vertex>(rng.below(p.num_vertices));
+    const auto to = static_cast<Vertex>(rng.below(p.num_vertices));
+    edges.push_back({from, to, random_weight(rng, p.max_weight)});
+  }
+  maybe_mirror(edges, p.symmetric);
+  return edges;
+}
+
+std::vector<Edge> generate_rmat(const GeneratorParams& p) {
+  util::Xoshiro256 rng = util::Xoshiro256::for_stream(p.seed, 0, /*purpose=*/2);
+  const int scale = std::bit_width(
+      std::bit_ceil(static_cast<std::uint32_t>(p.num_vertices)) >> 1);
+  const double total = p.rmat_a + p.rmat_b + p.rmat_c + p.rmat_d;
+  const double a = p.rmat_a / total;
+  const double b = p.rmat_b / total;
+  const double c = p.rmat_c / total;
+  const auto num_edges = static_cast<std::size_t>(
+      static_cast<double>(p.num_vertices) * p.avg_degree);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges * (p.symmetric ? 2 : 1));
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    Vertex from = 0, to = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      // Pick a quadrant of the recursive matrix.
+      int quadrant;
+      if (r < a) {
+        quadrant = 0;
+      } else if (r < a + b) {
+        quadrant = 1;
+      } else if (r < a + b + c) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      from = static_cast<Vertex>((from << 1) | (quadrant >> 1));
+      to = static_cast<Vertex>((to << 1) | (quadrant & 1));
+    }
+    if (from >= p.num_vertices || to >= p.num_vertices) {
+      from %= p.num_vertices;
+      to %= p.num_vertices;
+    }
+    edges.push_back({from, to, random_weight(rng, p.max_weight)});
+  }
+  maybe_mirror(edges, p.symmetric);
+  return edges;
+}
+
+Csr build_uniform(const GeneratorParams& p) {
+  const auto edges = generate_uniform(p);
+  return Csr(p.num_vertices, edges);
+}
+
+Csr build_rmat(const GeneratorParams& p) {
+  const auto edges = generate_rmat(p);
+  return Csr(p.num_vertices, edges);
+}
+
+}  // namespace tram::graph

@@ -1,0 +1,45 @@
+#pragma once
+///
+/// \file generator.hpp
+/// \brief Deterministic synthetic graph generators.
+///
+/// Two families cover the paper's SSSP inputs:
+///  - uniform: Erdos-Renyi-style with a fixed average degree (the paper's
+///    well-scaling "large input");
+///  - rmat: Graph500-style power-law generator (irregular degree
+///    distribution, stresses load balance).
+///
+/// Both are reproducible from a seed and return directed edge lists with
+/// weights uniform in [1, max_weight].
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace tram::graph {
+
+struct GeneratorParams {
+  Vertex num_vertices = 1 << 16;
+  /// Average out-degree (number of directed edges = n * avg_degree).
+  double avg_degree = 8.0;
+  Weight max_weight = 64;
+  std::uint64_t seed = 42;
+  /// RMAT corner probabilities (a + b + c + d = 1 enforced by normalizing).
+  double rmat_a = 0.57, rmat_b = 0.19, rmat_c = 0.19, rmat_d = 0.05;
+  /// Make the graph symmetric (add the reverse of every edge).
+  bool symmetric = true;
+};
+
+/// Uniformly random endpoints.
+std::vector<Edge> generate_uniform(const GeneratorParams& p);
+
+/// Recursive-matrix (RMAT) generator; num_vertices is rounded up to a
+/// power of two internally, extra vertices are simply isolated.
+std::vector<Edge> generate_rmat(const GeneratorParams& p);
+
+/// Convenience: generate and build the CSR in one call.
+Csr build_uniform(const GeneratorParams& p);
+Csr build_rmat(const GeneratorParams& p);
+
+}  // namespace tram::graph

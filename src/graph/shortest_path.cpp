@@ -1,0 +1,58 @@
+#include "graph/shortest_path.hpp"
+
+#include <deque>
+#include <queue>
+
+namespace tram::graph {
+
+std::vector<std::uint64_t> dijkstra(const Csr& g, Vertex source) {
+  std::vector<std::uint64_t> dist(g.num_vertices(), kUnreachable);
+  using Item = std::pair<std::uint64_t, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;  // stale entry
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint64_t nd = d + wts[i];
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        heap.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint64_t> bellman_ford(const Csr& g, Vertex source) {
+  std::vector<std::uint64_t> dist(g.num_vertices(), kUnreachable);
+  std::vector<bool> queued(g.num_vertices(), false);
+  std::deque<Vertex> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  queued[source] = true;
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    queued[v] = false;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint64_t nd = dist[v] + wts[i];
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        if (!queued[nbrs[i]]) {
+          queue.push_back(nbrs[i]);
+          queued[nbrs[i]] = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace tram::graph

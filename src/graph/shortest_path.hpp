@@ -1,0 +1,23 @@
+#pragma once
+///
+/// \file shortest_path.hpp
+/// \brief Sequential shortest-path references for verification.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace tram::graph {
+
+/// Distance value for unreachable vertices.
+inline constexpr std::uint64_t kUnreachable = ~std::uint64_t{0};
+
+/// Dijkstra from `source`; returns one distance per vertex.
+std::vector<std::uint64_t> dijkstra(const Csr& g, Vertex source);
+
+/// Bellman-Ford (queue-based SPFA variant) — an independent oracle used to
+/// cross-check the Dijkstra implementation in tests.
+std::vector<std::uint64_t> bellman_ford(const Csr& g, Vertex source);
+
+}  // namespace tram::graph

@@ -1,0 +1,16 @@
+#include "net/cost_model.hpp"
+
+#include <sstream>
+
+namespace tram::net {
+
+std::string CostModel::to_string() const {
+  std::ostringstream os;
+  os << "alpha_remote=" << alpha_remote_ns << "ns alpha_local="
+     << alpha_local_ns << "ns beta_remote=" << beta_remote_ns
+     << "ns/B beta_local=" << beta_local_ns << "ns/B inject=" << inject_ns
+     << "ns";
+  return os.str();
+}
+
+}  // namespace tram::net

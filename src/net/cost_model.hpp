@@ -1,0 +1,84 @@
+#pragma once
+///
+/// \file cost_model.hpp
+/// \brief Alpha-beta (LogGP-flavoured) communication cost model.
+///
+/// The paper's motivating measurement (Fig. 1) on Delta: the one-way time of
+/// a small message is dominated by a per-message latency alpha of a few
+/// microseconds, while the per-byte cost beta is ~0.1 ns (about 12 GB/s).
+/// This model reproduces that regime, scaled down so benchmarks complete on
+/// one box while preserving alpha >> beta * item_size, the ratio all of the
+/// paper's effects depend on.
+///
+/// Three legs are modeled per message:
+///   - injection overhead at the source NIC (serializes per source node),
+///   - wire latency alpha (remote) or a cheaper alpha_local for same-node
+///     cross-process transfers (cma/xpmem-style),
+///   - per-byte cost beta charged during injection.
+
+#include <cstdint>
+#include <string>
+
+namespace tram::net {
+
+struct CostModel {
+  /// One-way latency for a cross-node message, nanoseconds.
+  double alpha_remote_ns = 2500.0;
+  /// One-way latency for a same-node, cross-process message (shared-memory
+  /// transport), nanoseconds.
+  double alpha_local_ns = 400.0;
+  /// Per-byte cost (inverse bandwidth) for cross-node messages. The paper
+  /// measures ~0.1 ns/B on Delta; we keep the same order.
+  double beta_remote_ns = 0.1;
+  /// Per-byte cost for same-node cross-process copies.
+  double beta_local_ns = 0.02;
+  /// Per-message injection overhead at the source NIC (the 'o/g' of LogGP).
+  /// Serialized per source node, so many processes injecting tiny messages
+  /// contend here — but far less than on a single comm thread.
+  double inject_ns = 120.0;
+
+  /// Time the source NIC is occupied injecting this message.
+  std::uint64_t injection_ns(std::size_t bytes, bool same_node) const noexcept {
+    const double beta = same_node ? beta_local_ns : beta_remote_ns;
+    return static_cast<std::uint64_t>(inject_ns +
+                                      beta * static_cast<double>(bytes));
+  }
+
+  /// Wire latency after injection completes.
+  std::uint64_t wire_ns(bool same_node) const noexcept {
+    return static_cast<std::uint64_t>(same_node ? alpha_local_ns
+                                                : alpha_remote_ns);
+  }
+
+  /// Total modeled one-way time for an uncontended message.
+  std::uint64_t message_ns(std::size_t bytes, bool same_node) const noexcept {
+    return injection_ns(bytes, same_node) + wire_ns(same_node);
+  }
+
+  /// The paper's closed-form cost of sending z items of b bytes with buffer
+  /// size g: (z/g) * alpha + beta * b * z  (section III-C). Used by the
+  /// ablate_formulas bench and tests.
+  double aggregated_send_cost_ns(double z, double b, double g,
+                                 bool same_node = false) const noexcept {
+    const double alpha = same_node ? alpha_local_ns : alpha_remote_ns;
+    const double beta = same_node ? beta_local_ns : beta_remote_ns;
+    return (z / g) * alpha + beta * b * z;
+  }
+
+  std::string to_string() const;
+
+  /// A model with all costs zero: used by tests that need deterministic,
+  /// immediate delivery.
+  static CostModel zero() noexcept {
+    CostModel m;
+    m.alpha_remote_ns = m.alpha_local_ns = 0.0;
+    m.beta_remote_ns = m.beta_local_ns = 0.0;
+    m.inject_ns = 0.0;
+    return m;
+  }
+
+  /// The default scaled-down Delta-like model (alpha ~2.5us remote).
+  static CostModel delta_like() noexcept { return CostModel{}; }
+};
+
+}  // namespace tram::net

@@ -1,0 +1,99 @@
+#pragma once
+///
+/// \file fabric.hpp
+/// \brief Simulated interconnect between simulated processes.
+///
+/// The fabric replaces the Delta network of the paper. Design:
+///
+///  - send(): the calling (comm) thread computes the packet's arrival time
+///    from the CostModel. Injection serializes per *source node* through an
+///    atomic busy-until timestamp, modeling a NIC: back-to-back messages
+///    from one node queue behind each other for their injection time, then
+///    spend the wire latency alpha in flight.
+///  - The packet is pushed to the destination process's ingress MPSC queue
+///    immediately; the *receiver* refrains from processing it until
+///    wall-clock time reaches arrival_ns (see rt::CommThread's reorder
+///    heap). This gives real wall-clock latency shapes without any
+///    dedicated network threads.
+///  - In zero-delay mode (CostModel::zero()) arrival_ns == send time, so
+///    receivers may process immediately: deterministic tests.
+///
+/// Same-node cross-process messages take the cheaper local alpha/beta and
+/// do not serialize through the node NIC (they model cma/xpmem copies).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/packet.hpp"
+#include "util/mpsc_queue.hpp"
+#include "util/spinlock.hpp"
+#include "util/topology.hpp"
+
+namespace tram::net {
+
+/// Per-process fabric counters. Written by the owning comm thread / readers
+/// after quiescence; relaxed atomics suffice.
+struct FabricCounters {
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> messages_received{0};
+  std::atomic<std::uint64_t> local_messages_sent{0};  // same-node subset
+};
+
+class Fabric {
+ public:
+  Fabric(util::Topology topo, CostModel model);
+
+  const util::Topology& topology() const noexcept { return topo_; }
+  const CostModel& cost_model() const noexcept { return model_; }
+
+  /// Hand a packet to the network. Fills in send_ns/arrival_ns, accounts
+  /// stats, and enqueues on the destination ingress. Thread-safe. Returns
+  /// the computed arrival time.
+  std::uint64_t send(Packet&& p);
+
+  /// Destination ingress queue for a process; drained by its comm thread.
+  util::MpscQueue<Packet>& ingress(ProcId p) { return ingress_[p]->queue; }
+
+  /// Counters for one process (src side of sent, dst side of received).
+  FabricCounters& counters(ProcId p) { return counters_[p]->value; }
+
+  /// Sum of messages sent across all processes.
+  std::uint64_t total_messages_sent() const;
+  std::uint64_t total_bytes_sent() const;
+  /// Messages handed to the fabric but not yet popped by a receiver.
+  /// Used by quiescence detection: the system cannot be quiescent while
+  /// packets are in flight.
+  std::uint64_t in_flight() const;
+
+  /// Reset all counters and injection clocks (between benchmark trials).
+  void reset();
+
+ private:
+  struct IngressSlot {
+    util::MpscQueue<Packet> queue;
+  };
+
+  util::Topology topo_;
+  CostModel model_;
+  bool zero_delay_ = false;
+  // One NIC busy-until clock per node, padded to avoid false sharing.
+  std::vector<std::unique_ptr<util::Padded<std::atomic<std::uint64_t>>>>
+      nic_busy_until_;
+  std::vector<std::unique_ptr<IngressSlot>> ingress_;
+  std::vector<std::unique_ptr<util::Padded<FabricCounters>>> counters_;
+  std::atomic<std::uint64_t> total_pushed_{0};
+  std::atomic<std::uint64_t> total_popped_{0};
+
+  friend class FabricReceipt;
+
+ public:
+  /// Receivers must call this after popping a packet from ingress() so
+  /// in_flight() stays accurate.
+  void note_received(ProcId dst, const Packet& p);
+};
+
+}  // namespace tram::net

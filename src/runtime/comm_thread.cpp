@@ -1,0 +1,152 @@
+#include "runtime/comm_thread.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "runtime/machine.hpp"
+#include "runtime/process.hpp"
+#include "runtime/worker.hpp"
+#include "util/spinlock.hpp"
+#include "util/timebase.hpp"
+
+namespace tram::rt {
+
+void forward_to_fabric(Machine& machine, ProcId src_proc, Message&& m,
+                       double cost_ns) {
+  const auto& cfg = machine.config();
+  const double byte_cost =
+      cfg.comm_per_byte_ns * static_cast<double>(m.payload.size());
+  util::spin_for_ns(static_cast<std::uint64_t>(cost_ns + byte_cost));
+
+  net::Packet p;
+  p.src_proc = src_proc;
+  p.dst_proc = m.dst_worker == kInvalidWorker
+                   ? m.dst_proc_hint
+                   : machine.topology().proc_of_worker(m.dst_worker);
+  p.dst_worker = m.dst_worker;
+  p.src_worker = m.src_worker;
+  p.endpoint = m.endpoint;
+  p.expedited = m.expedited;
+  p.payload = std::move(m.payload);
+  machine.fabric().send(std::move(p));
+}
+
+void deliver_packet(Machine& machine, Process& proc, net::Packet&& p,
+                    double cost_ns) {
+  const auto& cfg = machine.config();
+  const double byte_cost =
+      cfg.comm_per_byte_ns * static_cast<double>(p.payload.size());
+  util::spin_for_ns(static_cast<std::uint64_t>(cost_ns + byte_cost));
+  machine.fabric().note_received(proc.id(), p);
+
+  Message m;
+  m.endpoint = p.endpoint;
+  m.src_worker = p.src_worker;
+  m.expedited = p.expedited;
+  m.dst_worker =
+      p.dst_worker == kInvalidWorker ? proc.pick_delivery_worker() : p.dst_worker;
+  m.payload = std::move(p.payload);
+  proc.worker(machine.topology().local_rank(m.dst_worker))
+      .enqueue(std::move(m));
+}
+
+CommThread::CommThread(Machine& machine, Process& proc)
+    : machine_(machine), proc_(proc) {}
+
+std::size_t CommThread::pump_egress() {
+  const auto& cfg = machine_.config();
+  const int nworkers = proc_.worker_count();
+  std::size_t forwarded = 0;
+  for (LocalWorkerId r = 0; r < nworkers; ++r) {
+    auto& ring = proc_.egress(r);
+    // Bounded batch per worker per iteration keeps one chatty worker from
+    // starving its siblings.
+    for (std::uint32_t i = 0; i < cfg.progress_batch; ++i) {
+      auto m = ring.try_pop();
+      if (!m) break;
+      // Process-addressed messages carry their destination in the payload
+      // path: dst_worker == kInvalidWorker is resolved at the receiver.
+      // We still must compute dst_proc here.
+      net::Packet p;
+      p.src_proc = proc_.id();
+      p.src_worker = m->src_worker;
+      p.endpoint = m->endpoint;
+      p.expedited = m->expedited;
+      p.dst_worker = m->dst_worker;
+      if (m->dst_worker == kInvalidWorker) {
+        p.dst_proc = m->dst_proc_hint;
+      } else {
+        p.dst_proc = machine_.topology().proc_of_worker(m->dst_worker);
+      }
+      const double byte_cost = cfg.comm_per_byte_ns *
+                               static_cast<double>(m->payload.size());
+      util::spin_for_ns(static_cast<std::uint64_t>(
+          cfg.comm_per_msg_send_ns + byte_cost));
+      p.payload = std::move(m->payload);
+      machine_.fabric().send(std::move(p));
+      ++sent_;
+      ++forwarded;
+    }
+  }
+  return forwarded;
+}
+
+std::size_t CommThread::pump_ingress() {
+  auto& q = machine_.fabric().ingress(proc_.id());
+  while (auto p = q.try_pop()) heap_.push(std::move(*p));
+  std::size_t delivered = 0;
+  std::uint64_t now = util::now_ns();
+  while (!heap_.empty() && heap_.top().arrival_ns <= now) {
+    net::Packet p = std::move(const_cast<net::Packet&>(heap_.top()));
+    heap_.pop();
+    deliver_packet(machine_, proc_, std::move(p),
+                   machine_.config().comm_per_msg_recv_ns);
+    ++delivered_;
+    ++delivered;
+    now = util::now_ns();
+  }
+  return delivered;
+}
+
+void CommThread::run() {
+  const auto& cfg = machine_.config();
+  std::uint32_t idle_round = 0;
+  for (;;) {
+    std::size_t work = pump_egress();
+    work += pump_ingress();
+    if (work > 0) {
+      idle_round = 0;
+      continue;
+    }
+    if (machine_.stopping() && heap_.empty()) return;
+    ++idle_round;
+    if (!heap_.empty()) {
+      // Packets queued for a future arrival: wait just until the earliest.
+      // Sleep for long gaps (burning a shared core would distort every
+      // other thread's timing more than a few us of wakeup slack distorts
+      // this packet's).
+      const std::uint64_t due = heap_.top().arrival_ns;
+      const std::uint64_t now = util::now_ns();
+      if (due > now) {
+        const std::uint64_t gap = due - now;
+        if (gap > 15'000) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(gap - 10'000));
+        } else {
+          util::spin_for_ns(std::min<std::uint64_t>(gap, 2'000));
+        }
+      }
+      continue;
+    }
+    if (idle_round <= cfg.idle_spin) {
+      util::cpu_relax();
+    } else if (idle_round <= cfg.idle_spin + cfg.idle_yield) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(cfg.idle_nap_ns));
+    }
+  }
+}
+
+}  // namespace tram::rt

@@ -1,0 +1,46 @@
+#pragma once
+///
+/// \file endpoint.hpp
+/// \brief Registry of message handlers (Charm++ entry-method analogue).
+///
+/// Endpoints are registered identically on every process before the machine
+/// starts (SPMD registration, like Charm++'s readonly/entry registration
+/// phase), so an EndpointId is valid machine-wide. Registration is not
+/// thread-safe; dispatch is read-only and safe from all workers.
+
+#include <cassert>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "util/types.hpp"
+
+namespace tram::rt {
+
+class Worker;
+
+/// A handler runs on the destination worker's thread, message-driven.
+using Handler = std::function<void(Worker&, Message&&)>;
+
+class EndpointRegistry {
+ public:
+  /// Register a handler; returns its machine-wide id. Call only before the
+  /// machine runs.
+  EndpointId add(Handler h) {
+    handlers_.push_back(std::move(h));
+    return static_cast<EndpointId>(handlers_.size() - 1);
+  }
+
+  const Handler& get(EndpointId id) const {
+    assert(id >= 0 && static_cast<std::size_t>(id) < handlers_.size());
+    return handlers_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const noexcept { return handlers_.size(); }
+
+ private:
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace tram::rt

@@ -1,0 +1,119 @@
+#pragma once
+///
+/// \file machine.hpp
+/// \brief The simulated machine: topology + fabric + processes + QD.
+///
+/// Machine is the entry point of the runtime substrate. Usage (SPMD, like a
+/// Charm++ mainchare broadcast):
+///
+///   Machine m(Topology(2, 2, 4), RuntimeConfig::testing());
+///   EndpointId ep = m.register_endpoint([](Worker& w, Message&& msg) {...});
+///   auto result = m.run([&](Worker& self) {
+///     // runs on every worker; send messages, call self.progress(), ...
+///   });
+///   // result.wall_s covers start-barrier to global quiescence.
+///
+/// Termination is counting-based quiescence detection (Charm++ QD
+/// analogue): all application mains returned, every runtime message sent
+/// has been handled, and every registered pending counter (aggregation
+/// buffers, deferred work) reads zero — stable across a settle window.
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "runtime/config.hpp"
+#include "runtime/endpoint.hpp"
+#include "runtime/process.hpp"
+#include "runtime/worker.hpp"
+#include "util/topology.hpp"
+
+namespace tram::rt {
+
+class Machine {
+ public:
+  Machine(util::Topology topo, RuntimeConfig cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const util::Topology& topology() const noexcept { return topo_; }
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+  EndpointRegistry& endpoints() noexcept { return endpoints_; }
+
+  /// Register a message handler on all processes. Only before run().
+  EndpointId register_endpoint(Handler h);
+
+  Process& process(ProcId p) { return *procs_[static_cast<std::size_t>(p)]; }
+  Worker& worker(WorkerId w);
+
+  struct RunResult {
+    /// Start barrier to first observed quiescence, seconds.
+    double wall_s = 0.0;
+    /// Fabric-level (aggregated) messages and bytes.
+    std::uint64_t fabric_messages = 0;
+    std::uint64_t fabric_bytes = 0;
+    /// Runtime-level messages (one per Message::send, local or remote).
+    std::uint64_t runtime_messages = 0;
+  };
+
+  /// Execute main_fn on every worker, run message-driven scheduling to
+  /// quiescence, join all threads, and report. Reusable: call repeatedly
+  /// (counters and RNG streams reset between runs; endpoint registrations
+  /// and idle hooks persist unless cleared).
+  RunResult run(const std::function<void(Worker&)>& main_fn,
+                std::uint64_t seed = 1);
+
+  /// In-run barrier across all workers (control plane; call from main_fn).
+  void barrier();
+
+  /// --- hooks used by runtime internals ---
+  void note_sent() noexcept {
+    sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_handled() noexcept {
+    handled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool stopping() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// Sum of pending counters over all workers.
+  std::uint64_t total_pending() const;
+  std::uint64_t total_sent() const noexcept {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_handled() const noexcept {
+    return handled_.load(std::memory_order_relaxed);
+  }
+
+  /// Remove all idle hooks and pending counters from every worker (between
+  /// benchmark configurations that reuse the machine).
+  void clear_worker_hooks();
+
+ private:
+  void quiescence_wait(std::uint64_t& t_end_ns);
+
+  util::Topology topo_;
+  RuntimeConfig cfg_;
+  net::Fabric fabric_;
+  EndpointRegistry endpoints_;
+  std::vector<std::unique_ptr<Process>> procs_;
+
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> handled_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> mains_done_{0};
+  bool running_ = false;
+
+  std::unique_ptr<std::barrier<>> start_barrier_;  // workers + main thread
+  std::unique_ptr<std::barrier<>> worker_barrier_; // workers only
+};
+
+}  // namespace tram::rt

@@ -1,0 +1,69 @@
+#pragma once
+///
+/// \file message.hpp
+/// \brief Runtime message envelope and POD payload codec.
+///
+/// A Message is the unit of message-driven execution: it names an endpoint
+/// (registered handler) and a destination worker, and carries an opaque
+/// byte payload. Within a process, messages move by moving the vector;
+/// between processes they ride inside a net::Packet (same fields, so no
+/// re-serialization happens at the boundary).
+///
+/// Payloads are arrays of trivially-copyable items; the codec below is a
+/// checked memcpy in each direction.
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tram::rt {
+
+struct Message {
+  EndpointId endpoint = 0;
+  WorkerId dst_worker = kInvalidWorker;
+  WorkerId src_worker = kInvalidWorker;
+  /// For process-addressed messages (dst_worker == kInvalidWorker): the
+  /// destination process. The receiving side picks a local worker.
+  ProcId dst_proc_hint = -1;
+  bool expedited = false;
+  std::vector<std::byte> payload;
+};
+
+/// Serialize a span of trivially-copyable items into a byte payload.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> encode_payload(std::span<const T> items) {
+  std::vector<std::byte> bytes(items.size_bytes());
+  if (!items.empty()) {
+    std::memcpy(bytes.data(), items.data(), items.size_bytes());
+  }
+  return bytes;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> encode_payload(const T& item) {
+  return encode_payload(std::span<const T>(&item, 1));
+}
+
+/// View a payload as items of T. The payload must be a whole number of T.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::span<const T> decode_payload(std::span<const std::byte> bytes) {
+  assert(bytes.size() % sizeof(T) == 0 &&
+         "payload size is not a multiple of the item size");
+  return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::span<const T> decode_payload(const Message& m) {
+  return decode_payload<T>(std::span<const std::byte>(m.payload));
+}
+
+}  // namespace tram::rt

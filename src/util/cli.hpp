@@ -1,0 +1,52 @@
+#pragma once
+///
+/// \file cli.hpp
+/// \brief Minimal command-line parser for examples and bench drivers.
+///
+/// Supports --key value, --key=value, and boolean --flag forms. Unknown
+/// arguments are an error (fail fast beats silently ignored typos in an
+/// experiment sweep). Every option self-documents for --help.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tram::util {
+
+class Cli {
+ public:
+  /// \param program one-line description printed by --help.
+  explicit Cli(std::string program) : program_(std::move(program)) {}
+
+  /// Register options before parse(). Returned reference is stable.
+  void add_flag(std::string name, bool* out, std::string help);
+  void add_int(std::string name, std::int64_t* out, std::string help);
+  void add_double(std::string name, double* out, std::string help);
+  void add_string(std::string name, std::string* out, std::string help);
+
+  /// Parse argv. Returns false (after printing help or an error) when the
+  /// caller should exit; true when parsing succeeded.
+  bool parse(int argc, char** argv);
+
+  std::string help() const;
+
+ private:
+  enum class Kind { Flag, Int, Double, Str };
+  struct Option {
+    std::string name;  // without leading dashes
+    Kind kind;
+    void* out;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Option* find(std::string_view name) const;
+  bool apply(const Option& opt, std::string_view value);
+
+  std::string program_;
+  std::vector<Option> options_;
+};
+
+}  // namespace tram::util

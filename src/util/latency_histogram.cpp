@@ -1,0 +1,60 @@
+#include "util/latency_histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace tram::util {
+
+std::size_t LatencyHistogram::bucket_for(std::uint64_t ns) noexcept {
+  if (ns < 2) return 0;
+  const int octave = 63 - std::countl_zero(ns);
+  // Sub-bucket: top bit below the leading bit selects the half-octave.
+  const std::uint64_t frac = (ns >> (octave - 1)) & 1u;
+  std::size_t b = static_cast<std::size_t>(octave) * kSub + frac;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+double LatencyHistogram::bucket_mid(std::size_t b) noexcept {
+  const double lo = std::exp2(static_cast<double>(b) / kSub);
+  const double hi = std::exp2(static_cast<double>(b + 1) / kSub);
+  return std::sqrt(lo * hi);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  sum_ns_ += other.sum_ns_;
+  if (other.count_) {
+    if (count_ == 0 || other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::percentile_ns(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) return bucket_mid(b);
+  }
+  return static_cast<double>(max_ns_);
+}
+
+std::string LatencyHistogram::to_string() const {
+  std::ostringstream os;
+  os << "latency: n=" << count_ << " mean=" << mean_ns() << "ns p50="
+     << percentile_ns(0.5) << " p99=" << percentile_ns(0.99)
+     << " max=" << max_ns_ << "\n";
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    os << "  [~" << bucket_mid(b) << "ns] " << buckets_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tram::util

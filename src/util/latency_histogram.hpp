@@ -1,0 +1,64 @@
+#pragma once
+///
+/// \file latency_histogram.hpp
+/// \brief Log-bucketed latency histogram with percentile queries.
+///
+/// Item latency is the paper's second key metric (time from insert() on the
+/// source worker to delivery on the destination worker). Recording every
+/// sample is too expensive at millions of items per second, so each worker
+/// owns one of these: fixed-size log2 buckets (2 sub-buckets per octave,
+/// ~41% relative error worst case, far below the scheme-to-scheme gaps the
+/// paper reports), mergeable across workers after the run.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tram::util {
+
+class LatencyHistogram {
+ public:
+  /// Record one latency sample in nanoseconds.
+  void add(std::uint64_t ns) noexcept {
+    buckets_[bucket_for(ns)]++;
+    sum_ns_ += ns;
+    ++count_;
+    if (ns > max_ns_) max_ns_ = ns;
+    if (count_ == 1 || ns < min_ns_) min_ns_ = ns;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean_ns() const noexcept {
+    return count_ ? static_cast<double>(sum_ns_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t min_ns() const noexcept { return count_ ? min_ns_ : 0; }
+  std::uint64_t max_ns() const noexcept { return max_ns_; }
+
+  /// Approximate percentile (q in [0,1]) from bucket midpoints.
+  double percentile_ns(double q) const noexcept;
+
+  /// Multi-line bucket dump for debugging; empty buckets omitted.
+  std::string to_string() const;
+
+ private:
+  // 2 sub-buckets per power of two covering [1ns, ~4.3s].
+  static constexpr std::size_t kOctaves = 32;
+  static constexpr std::size_t kSub = 2;
+  static constexpr std::size_t kBuckets = kOctaves * kSub;
+
+  static std::size_t bucket_for(std::uint64_t ns) noexcept;
+  /// Representative value (geometric midpoint) of a bucket.
+  static double bucket_mid(std::size_t b) noexcept;
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace tram::util

@@ -1,0 +1,76 @@
+#pragma once
+///
+/// \file spinlock.hpp
+/// \brief Test-and-test-and-set spinlock with exponential backoff.
+///
+/// Used for short critical sections on hot paths (aggregation buffers,
+/// fabric queues) where a futex-based mutex would dominate the cost being
+/// measured. Satisfies Lockable, so it composes with std::lock_guard /
+/// std::scoped_lock.
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace tram::util {
+
+/// CPU-relax hint for spin loops; compiles to PAUSE on x86.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// TTAS spinlock with bounded exponential backoff.
+///
+/// The load-before-CAS ("test-and-test-and-set") keeps waiters spinning on a
+/// shared cache line in S state instead of bouncing it in M state; backoff
+/// caps contention when many workers hit one buffer (the PP scheme's worst
+/// case).
+class Spinlock {
+ public:
+  Spinlock() noexcept = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    std::uint32_t backoff = 1;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // Wait until the lock looks free before retrying the RMW.
+      while (locked_.load(std::memory_order_relaxed)) {
+        for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
+        if (backoff < kMaxBackoff) backoff <<= 1;
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr std::uint32_t kMaxBackoff = 64;
+  std::atomic<bool> locked_{false};
+};
+
+/// Pads T to a cache line to prevent false sharing in arrays of hot objects
+/// (per-worker counters, per-destination buffer headers).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+};
+
+}  // namespace tram::util

@@ -1,0 +1,96 @@
+#pragma once
+///
+/// \file spsc_ring.hpp
+/// \brief Bounded single-producer single-consumer ring buffer.
+///
+/// The classic Lamport queue with cached indices: producer and consumer each
+/// keep a local copy of the other side's index and only re-read the shared
+/// atomic when the cached value says the ring looks full/empty. Used for the
+/// worker -> comm-thread egress channel, which is SPSC by construction (one
+/// worker produces, one comm thread consumes).
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace tram::util {
+
+/// Bounded SPSC FIFO. Capacity is rounded up to a power of two.
+/// T must be movable. Not copyable; addresses are stable after construction.
+template <typename T>
+class SpscRing {
+ public:
+  /// \param capacity minimum number of elements the ring can hold.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (caller decides
+  /// whether to retry, spill, or apply backpressure).
+  ///
+  /// Takes an rvalue reference, NOT a by-value parameter: on failure the
+  /// caller's object is untouched, so `while (!ring.try_push(std::move(m)))`
+  /// retry loops are safe. (A by-value parameter would already have
+  /// consumed the object on a failed attempt, silently pushing an empty
+  /// shell on retry.)
+  bool try_push(T&& value) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.value.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.value.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Copying overload for tests and PODs.
+  bool try_push(const T& value) {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.value.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
+    T out = std::move(slots_[tail & mask_]);
+    tail_.value.store(tail + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Approximate occupancy; exact only when quiesced.
+  std::size_t size_approx() const {
+    const std::size_t head = head_.value.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.value.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer-owned line: head index plus the producer's cached tail.
+  Padded<std::atomic<std::size_t>> head_{};
+  alignas(kCacheLine) std::size_t cached_tail_ = 0;
+  // Consumer-owned line: tail index plus the consumer's cached head.
+  Padded<std::atomic<std::size_t>> tail_{};
+  alignas(kCacheLine) std::size_t cached_head_ = 0;
+};
+
+}  // namespace tram::util

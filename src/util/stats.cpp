@@ -1,0 +1,39 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tram::util {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::string RunningStats::to_string() const {
+  std::ostringstream os;
+  os << mean() << " +/- " << stddev() << " [" << min() << ", " << max()
+     << "] (n=" << count() << ")";
+  return os.str();
+}
+
+}  // namespace tram::util

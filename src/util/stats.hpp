@@ -1,0 +1,48 @@
+#pragma once
+///
+/// \file stats.hpp
+/// \brief Streaming summary statistics (Welford) used by all benchmarks.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tram::util {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Mergeable, so per-worker accumulators can be combined after a run.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Combine two accumulators (Chan et al. parallel variance).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// "mean ± stddev [min, max] (n)" for logs.
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tram::util

@@ -1,0 +1,46 @@
+#pragma once
+///
+/// \file table.hpp
+/// \brief Aligned text tables and CSV output for the benchmark harness.
+///
+/// Every figure-reproduction bench prints one of these: a header row naming
+/// the series (schemes), one row per x-value (node count, buffer size, ...),
+/// mirroring the rows behind the paper's plots. The same data can be dumped
+/// as CSV for external plotting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tram::util {
+
+class Table {
+ public:
+  /// \param title  printed above the table (e.g. "Fig 9: Histogram 1M ...").
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_int(long long v);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+  /// Render as CSV (header + rows, no title).
+  std::string to_csv() const;
+  /// Print to stdout.
+  void print() const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tram::util

@@ -1,0 +1,25 @@
+#include "util/topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tram::util {
+
+Topology::Topology(int nodes, int procs_per_node, int workers_per_proc)
+    : nodes_(nodes),
+      procs_per_node_(procs_per_node),
+      workers_per_proc_(workers_per_proc) {
+  if (nodes < 1 || procs_per_node < 1 || workers_per_proc < 1) {
+    throw std::invalid_argument(
+        "Topology: all dimensions must be >= 1, got " + to_string());
+  }
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream os;
+  os << nodes_ << "n x " << procs_per_node_ << "p x " << workers_per_proc_
+     << "w";
+  return os.str();
+}
+
+}  // namespace tram::util

@@ -1,0 +1,42 @@
+#pragma once
+///
+/// \file types.hpp
+/// \brief Fundamental identifier types shared across all tramlib modules.
+///
+/// The simulated machine is a three-level hierarchy mirroring the paper's
+/// Charm++ SMP deployment: physical *nodes* host *processes*, each process
+/// owns several *workers* (PEs — one pthread bound to a core in real
+/// Charm++). Identifiers come in two flavours:
+///
+///  - *global* ids, unique machine-wide (`NodeId`, `ProcId`, `WorkerId`), and
+///  - *local* ranks within the enclosing level (`LocalWorkerId` is a worker's
+///    rank within its process).
+///
+/// All ids are dense 0-based integers so they can index vectors directly.
+
+#include <cstdint>
+
+namespace tram {
+
+/// Global id of a physical node, in [0, nodes()).
+using NodeId = std::int32_t;
+
+/// Global id of a process, in [0, procs()). Processes are numbered
+/// node-major: process p lives on node p / procs_per_node.
+using ProcId = std::int32_t;
+
+/// Global id of a worker (a PE in Charm++ terminology), in [0, workers()).
+/// Workers are numbered process-major: worker w lives in process
+/// w / workers_per_proc.
+using WorkerId = std::int32_t;
+
+/// A worker's rank within its own process, in [0, workers_per_proc).
+using LocalWorkerId = std::int32_t;
+
+/// Identifies a registered message handler (see rt::EndpointRegistry).
+using EndpointId = std::int32_t;
+
+/// Sentinel for "no worker" / broadcast-style destinations.
+inline constexpr WorkerId kInvalidWorker = -1;
+
+}  // namespace tram

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/histogram.hpp"
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tram;
+
+struct Param {
+  core::Scheme scheme;
+  std::uint32_t buffer;
+  std::string label() const {
+    return std::string(core::to_string(scheme)) + "_g" +
+           std::to_string(buffer);
+  }
+};
+
+class HistogramSchemes : public ::testing::TestWithParam<Param> {};
+
+TEST_P(HistogramSchemes, ConservesEveryUpdate) {
+  rt::Machine m(util::Topology(2, 2, 2), rt::RuntimeConfig::testing());
+  apps::HistogramParams p;
+  p.updates_per_worker = 5000;
+  p.bins_per_worker = 256;
+  p.tram.scheme = GetParam().scheme;
+  p.tram.buffer_items = GetParam().buffer;
+  apps::HistogramApp app(m, p);
+  const auto res = app.run();
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.table_total, 8u * 5000u);
+  EXPECT_EQ(res.tram.items_inserted, 8u * 5000u);
+  EXPECT_EQ(res.tram.items_delivered, 8u * 5000u);
+}
+
+TEST_P(HistogramSchemes, BinContentsMatchRngReplay) {
+  // The app draws bins from each worker's deterministic stream; replaying
+  // the streams offline must predict every bin count exactly.
+  rt::Machine m(util::Topology(1, 2, 2), rt::RuntimeConfig::testing());
+  apps::HistogramParams p;
+  p.updates_per_worker = 2000;
+  p.bins_per_worker = 128;
+  p.tram.scheme = GetParam().scheme;
+  p.tram.buffer_items = GetParam().buffer;
+  apps::HistogramApp app(m, p);
+  const std::uint64_t seed = 11;
+  const auto res = app.run(seed);
+  ASSERT_TRUE(res.verified);
+
+  const int W = m.topology().workers();
+  const std::uint64_t total_bins = p.bins_per_worker * W;
+  std::vector<std::uint64_t> expected(total_bins, 0);
+  for (int w = 0; w < W; ++w) {
+    auto rng = util::Xoshiro256::for_stream(seed, w);
+    for (std::uint64_t i = 0; i < p.updates_per_worker; ++i) {
+      expected[rng.below(total_bins)]++;
+    }
+  }
+  graph::BlockPartition part(total_bins, W);
+  for (std::uint64_t bin = 0; bin < total_bins; ++bin) {
+    const int owner = part.owner(bin);
+    ASSERT_EQ(app.table_slice(owner)[bin - part.begin(owner)],
+              expected[bin])
+        << "bin " << bin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, HistogramSchemes,
+    ::testing::Values(Param{core::Scheme::None, 64},
+                      Param{core::Scheme::WW, 64},
+                      Param{core::Scheme::WPs, 64},
+                      Param{core::Scheme::WsP, 64},
+                      Param{core::Scheme::PP, 64},
+                      Param{core::Scheme::WW, 1},
+                      Param{core::Scheme::PP, 1},
+                      Param{core::Scheme::WPs, 100000}),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return param_info.param.label();
+    });
+
+TEST(Histogram, RepeatedRunsIndependent) {
+  rt::Machine m(util::Topology(2, 1, 2), rt::RuntimeConfig::testing());
+  apps::HistogramParams p;
+  p.updates_per_worker = 3000;
+  p.tram.scheme = core::Scheme::WPs;
+  p.tram.buffer_items = 128;
+  apps::HistogramApp app(m, p);
+  for (int round = 0; round < 3; ++round) {
+    const auto res = app.run(round + 1);
+    EXPECT_TRUE(res.verified) << "round " << round;
+    EXPECT_EQ(res.table_total, 4u * 3000u);
+  }
+}
+
+TEST(Histogram, NonSmpMode) {
+  auto cfg = rt::RuntimeConfig::testing();
+  cfg.dedicated_comm = false;
+  rt::Machine m(util::Topology(2, 4, 1), cfg);
+  apps::HistogramParams p;
+  p.updates_per_worker = 4000;
+  p.tram.scheme = core::Scheme::WPs;
+  p.tram.buffer_items = 64;
+  apps::HistogramApp app(m, p);
+  const auto res = app.run();
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(Histogram, FlushMessagesAppearForShortStreams) {
+  rt::Machine m(util::Topology(2, 2, 2), rt::RuntimeConfig::testing());
+  apps::HistogramParams p;
+  p.updates_per_worker = 100;  // far below one buffer per destination
+  p.tram.scheme = core::Scheme::WW;
+  p.tram.buffer_items = 1024;
+  apps::HistogramApp app(m, p);
+  const auto res = app.run();
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.tram.flush_msgs, res.tram.msgs_shipped)
+      << "every send should be flush-driven when buffers cannot fill";
+}
+
+}  // namespace

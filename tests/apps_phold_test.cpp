@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/phold.hpp"
+
+namespace {
+
+using namespace tram;
+
+class PholdSchemes : public ::testing::TestWithParam<core::Scheme> {};
+
+TEST_P(PholdSchemes, ConservesEventChains) {
+  rt::Machine m(util::Topology(2, 2, 2), rt::RuntimeConfig::testing());
+  apps::PholdParams p;
+  p.lps_per_worker = 8;
+  p.init_events_per_lp = 2;
+  p.end_time = 40.0;
+  p.mean_delay = 1.0;
+  p.tram.scheme = GetParam();
+  p.tram.buffer_items = 32;
+  apps::PholdApp app(m, p);
+  const auto res = app.run();
+  // Every chain processes at least its seed event; expectation is roughly
+  // chains * end_time / (lookahead + mean).
+  const std::uint64_t chains = 8u * 8u * 2u;
+  EXPECT_GE(res.events_processed, chains);
+  EXPECT_LE(res.ooo_events, res.events_processed);
+  EXPECT_GE(res.ooo_pct, 0.0);
+  EXPECT_LE(res.ooo_pct, 100.0);
+  // Sanity on magnitude: chains advance ~1.1 time units per event.
+  const double expected =
+      static_cast<double>(chains) * p.end_time / (p.lookahead + p.mean_delay);
+  EXPECT_GT(static_cast<double>(res.events_processed), 0.5 * expected);
+  EXPECT_LT(static_cast<double>(res.events_processed), 2.0 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PholdSchemes,
+                         ::testing::Values(core::Scheme::None,
+                                           core::Scheme::WW,
+                                           core::Scheme::WPs,
+                                           core::Scheme::WsP,
+                                           core::Scheme::PP),
+                         [](const auto& param_info) {
+                           return std::string(core::to_string(param_info.param));
+                         });
+
+TEST(Phold, ZeroRemoteProbabilityStaysLocal) {
+  rt::Machine m(util::Topology(2, 1, 2), rt::RuntimeConfig::testing());
+  apps::PholdParams p;
+  p.lps_per_worker = 4;
+  p.init_events_per_lp = 1;
+  p.end_time = 30.0;
+  p.remote_prob = 0.0;
+  p.tram.scheme = core::Scheme::WPs;
+  p.tram.buffer_items = 16;
+  apps::PholdApp app(m, p);
+  const auto res = app.run();
+  EXPECT_GT(res.events_processed, 0u);
+  // All successors stay on the owning worker: per-LP processing is in
+  // timestamp order by construction, so nothing arrives out of order...
+  // except interleavings among a worker's own LPs, which share buffers.
+  // The strong claim that must hold: far fewer OOO than the remote case.
+  rt::Machine m2(util::Topology(2, 1, 2), rt::RuntimeConfig::testing());
+  apps::PholdParams p2 = p;
+  p2.remote_prob = 1.0;
+  apps::PholdApp app2(m2, p2);
+  const auto res2 = app2.run();
+  EXPECT_LE(res.ooo_pct, res2.ooo_pct + 10.0);
+}
+
+TEST(Phold, EventsStopAtEndTime) {
+  rt::Machine m(util::Topology(1, 1, 2), rt::RuntimeConfig::testing());
+  apps::PholdParams p;
+  p.lps_per_worker = 4;
+  p.init_events_per_lp = 1;
+  p.end_time = 10.0;
+  p.mean_delay = 1.0;
+  p.lookahead = 0.5;
+  p.tram.scheme = core::Scheme::WW;
+  p.tram.buffer_items = 8;
+  apps::PholdApp app(m, p);
+  const auto res = app.run();
+  // Each chain ends once it crosses end_time: bounded events per chain.
+  // 8 chains x at most ~(10 / 0.5) + 1 events is a hard ceiling.
+  EXPECT_LE(res.events_processed, 8u * 21u);
+  EXPECT_GT(res.events_processed, 8u);
+}
+
+TEST(Phold, ReusableAcrossRuns) {
+  rt::Machine m(util::Topology(2, 1, 2), rt::RuntimeConfig::testing());
+  apps::PholdParams p;
+  p.lps_per_worker = 8;
+  p.init_events_per_lp = 2;
+  p.end_time = 25.0;
+  p.tram.scheme = core::Scheme::PP;
+  p.tram.buffer_items = 16;
+  apps::PholdApp app(m, p);
+  std::uint64_t first = 0;
+  for (int round = 0; round < 3; ++round) {
+    const auto res = app.run(42);  // same seed
+    EXPECT_GT(res.events_processed, 0u);
+    if (round == 0) {
+      first = res.events_processed;
+    } else {
+      // Same seed, same chain structure: the event count depends only on
+      // per-LP rng draws, which are deterministic per worker... but draw
+      // ORDER depends on delivery interleaving, so allow a window.
+      EXPECT_NEAR(static_cast<double>(res.events_processed),
+                  static_cast<double>(first),
+                  0.25 * static_cast<double>(first));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "apps/pingack.hpp"
+#include "apps/pingpong.hpp"
+#include "runtime/machine.hpp"
+
+namespace {
+
+using namespace tram;
+
+TEST(PingPong, RequiresTwoNodes) {
+  rt::Machine m(util::Topology(1, 2, 1), rt::RuntimeConfig::testing());
+  EXPECT_THROW(apps::PingPongApp{m}, std::invalid_argument);
+}
+
+TEST(PingPong, MeasuresPositiveOneWayTime) {
+  rt::Machine m(util::Topology(2, 1, 1), rt::RuntimeConfig::testing());
+  apps::PingPongApp app(m);
+  const auto res = app.run({.payload_bytes = 64, .iterations = 100});
+  EXPECT_GT(res.one_way_us, 0.0);
+}
+
+TEST(PingPong, TimeGrowsWithModeledAlpha) {
+  auto run_with_alpha = [](double alpha_ns) {
+    rt::RuntimeConfig cfg = rt::RuntimeConfig::testing();
+    cfg.cost.alpha_remote_ns = alpha_ns;
+    rt::Machine m(util::Topology(2, 1, 1), cfg);
+    apps::PingPongApp app(m);
+    return app.run({.payload_bytes = 8, .iterations = 100}).one_way_us;
+  };
+  const double fast = run_with_alpha(0.0);
+  const double slow = run_with_alpha(50'000.0);
+  // one-way must reflect the injected 50us alpha.
+  EXPECT_GT(slow, fast + 40.0);
+}
+
+TEST(PingPong, TimeGrowsWithPayloadUnderBeta) {
+  rt::RuntimeConfig cfg = rt::RuntimeConfig::testing();
+  cfg.cost.beta_remote_ns = 1.0;  // 1 ns/B: 1MB costs ~1ms per direction
+  rt::Machine m(util::Topology(2, 1, 1), cfg);
+  apps::PingPongApp app(m);
+  const double small =
+      app.run({.payload_bytes = 64, .iterations = 50}).one_way_us;
+  const double large =
+      app.run({.payload_bytes = 1 << 20, .iterations = 50}).one_way_us;
+  EXPECT_GT(large, small + 500.0);
+}
+
+TEST(PingAck, RequiresExactlyTwoNodes) {
+  rt::Machine m(util::Topology(3, 1, 1), rt::RuntimeConfig::testing());
+  EXPECT_THROW(apps::PingAckApp{m}, std::invalid_argument);
+}
+
+TEST(PingAck, CompletesAndCountsMessages) {
+  rt::Machine m(util::Topology(2, 2, 2), rt::RuntimeConfig::testing());
+  apps::PingAckApp app(m);
+  const auto res = app.run({.messages_per_worker = 500});
+  EXPECT_GT(res.total_s, 0.0);
+  // 4 workers on node 0 send 500 remote messages each, plus 4 acks.
+  EXPECT_GE(res.fabric_messages, 4u * 500u + 4u);
+}
+
+TEST(PingAck, ReusableWithDifferentCounts) {
+  rt::Machine m(util::Topology(2, 1, 2), rt::RuntimeConfig::testing());
+  apps::PingAckApp app(m);
+  const auto a = app.run({.messages_per_worker = 100});
+  const auto b = app.run({.messages_per_worker = 2000});
+  EXPECT_GT(b.fabric_messages, a.fabric_messages);
+}
+
+TEST(PingAck, NonSmpMode) {
+  auto cfg = rt::RuntimeConfig::testing();
+  cfg.dedicated_comm = false;
+  rt::Machine m(util::Topology(2, 4, 1), cfg);
+  apps::PingAckApp app(m);
+  const auto res = app.run({.messages_per_worker = 1000});
+  EXPECT_GT(res.total_s, 0.0);
+}
+
+TEST(PingAck, SmpSlowerThanNonSmpUnderCommLoad) {
+  // The paper's Fig 3 in miniature, as a regression guard: with a heavy
+  // per-message comm cost, 1-proc SMP must lose to non-SMP.
+  const int workers = 4;
+  const int msgs = 1500;
+  rt::RuntimeConfig smp = rt::RuntimeConfig::testing();
+  smp.comm_per_msg_send_ns = 2'000;
+  smp.comm_per_msg_recv_ns = 2'000;
+  rt::Machine m_smp(util::Topology(2, 1, workers), smp);
+  apps::PingAckApp app_smp(m_smp);
+
+  rt::RuntimeConfig nonsmp = smp;
+  nonsmp.dedicated_comm = false;
+  rt::Machine m_non(util::Topology(2, workers, 1), nonsmp);
+  apps::PingAckApp app_non(m_non);
+
+  apps::PingAckParams params;
+  params.messages_per_worker = msgs;
+  const double t_smp = app_smp.run(params).total_s;
+  const double t_non = app_non.run(params).total_s;
+  EXPECT_GT(t_smp, t_non);
+}
+
+}  // namespace

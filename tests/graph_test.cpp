@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/csr.hpp"
+#include "graph/generator.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace {
+
+using namespace tram::graph;
+
+TEST(Csr, BuildsFromEdgeList) {
+  const std::vector<Edge> edges{{0, 1, 5}, {0, 2, 3}, {1, 2, 1}, {2, 0, 7}};
+  Csr g(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  // Neighbor and weight arrays are parallel.
+  const auto nbrs = g.neighbors(0);
+  const auto wts = g.weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  std::set<std::pair<Vertex, Weight>> got;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) got.insert({nbrs[i], wts[i]});
+  EXPECT_TRUE(got.count({1, 5}));
+  EXPECT_TRUE(got.count({2, 3}));
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Csr, EmptyAndIsolatedVertices) {
+  Csr g(4, std::vector<Edge>{});
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 4; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Csr, DegreeSumEqualsEdgeCount) {
+  GeneratorParams p;
+  p.num_vertices = 5000;
+  p.avg_degree = 7.0;
+  const Csr g = build_uniform(p);
+  std::size_t sum = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, g.num_edges());
+}
+
+TEST(Generator, DeterministicFromSeed) {
+  GeneratorParams p;
+  p.num_vertices = 1000;
+  p.seed = 7;
+  const auto a = generate_uniform(p);
+  const auto b = generate_uniform(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].from, b[i].from);
+    EXPECT_EQ(a[i].to, b[i].to);
+    EXPECT_EQ(a[i].weight, b[i].weight);
+  }
+  p.seed = 8;
+  const auto c = generate_uniform(p);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].from != c[i].from || a[i].to != c[i].to;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, RespectsSizeAndWeightBounds) {
+  GeneratorParams p;
+  p.num_vertices = 2048;
+  p.avg_degree = 4.0;
+  p.max_weight = 10;
+  p.symmetric = false;
+  for (const auto& edges : {generate_uniform(p), generate_rmat(p)}) {
+    EXPECT_EQ(edges.size(), static_cast<std::size_t>(2048 * 4));
+    for (const Edge& e : edges) {
+      ASSERT_LT(e.from, p.num_vertices);
+      ASSERT_LT(e.to, p.num_vertices);
+      ASSERT_GE(e.weight, 1u);
+      ASSERT_LE(e.weight, 10u);
+    }
+  }
+}
+
+TEST(Generator, SymmetricDoublesEdges) {
+  GeneratorParams p;
+  p.num_vertices = 512;
+  p.avg_degree = 3.0;
+  p.symmetric = true;
+  const auto edges = generate_uniform(p);
+  EXPECT_EQ(edges.size(), static_cast<std::size_t>(512 * 3 * 2));
+  // Second half mirrors the first.
+  const std::size_t half = edges.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(edges[i].from, edges[half + i].to);
+    EXPECT_EQ(edges[i].to, edges[half + i].from);
+    EXPECT_EQ(edges[i].weight, edges[half + i].weight);
+  }
+}
+
+TEST(Generator, RmatIsSkewed) {
+  // RMAT should concentrate edges: the max degree well above uniform's.
+  GeneratorParams p;
+  p.num_vertices = 1 << 14;
+  p.avg_degree = 8.0;
+  const Csr uniform = build_uniform(p);
+  const Csr rmat = build_rmat(p);
+  EXPECT_GT(rmat.max_degree(), 2 * uniform.max_degree());
+}
+
+TEST(BlockPartition, CoversRangeExactly) {
+  for (const auto& [n, parts] : std::vector<std::pair<std::uint64_t, int>>{
+           {10, 3}, {100, 7}, {8, 8}, {5, 8}, {1000, 1}, {64, 64}}) {
+    BlockPartition part(n, parts);
+    std::uint64_t covered = 0;
+    for (int p = 0; p < parts; ++p) {
+      EXPECT_EQ(part.end(p) - part.begin(p), part.size(p));
+      covered += part.size(p);
+      if (p > 0) {
+        EXPECT_EQ(part.begin(p), part.end(p - 1));
+      }
+    }
+    EXPECT_EQ(covered, n);
+    // owner() agrees with the ranges, for every element.
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const int o = part.owner(v);
+      ASSERT_GE(v, part.begin(o));
+      ASSERT_LT(v, part.end(o));
+    }
+    // Balanced: sizes differ by at most 1.
+    std::uint64_t mn = n, mx = 0;
+    for (int p = 0; p < parts; ++p) {
+      mn = std::min(mn, part.size(p));
+      mx = std::max(mx, part.size(p));
+    }
+    EXPECT_LE(mx - mn, 1u);
+  }
+}
+
+class ShortestPathOracles : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Dijkstra and the queue-based Bellman-Ford are independent
+/// implementations; on random graphs they must agree exactly.
+TEST_P(ShortestPathOracles, DijkstraAgreesWithBellmanFord) {
+  GeneratorParams p;
+  p.num_vertices = 3000;
+  p.avg_degree = 5.0;
+  p.seed = GetParam();
+  const Csr g = build_uniform(p);
+  const auto d1 = dijkstra(g, 0);
+  const auto d2 = bellman_ford(g, 0);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(d1[v], d2[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(ShortestPathOracles, RmatAgreement) {
+  GeneratorParams p;
+  p.num_vertices = 2048;
+  p.avg_degree = 6.0;
+  p.seed = GetParam();
+  const Csr g = build_rmat(p);
+  EXPECT_EQ(dijkstra(g, 1), bellman_ford(g, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortestPathOracles,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(ShortestPath, DisconnectedVerticesUnreachable) {
+  // Two components: 0-1-2 and 3-4.
+  const std::vector<Edge> edges{{0, 1, 1}, {1, 0, 1}, {1, 2, 2}, {2, 1, 2},
+                                {3, 4, 1}, {4, 3, 1}};
+  Csr g(5, edges);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 3u);
+  EXPECT_EQ(d[3], kUnreachable);
+  EXPECT_EQ(d[4], kUnreachable);
+}
+
+TEST(ShortestPath, PathThroughCheaperDetour) {
+  // Direct edge 0->2 costs 10; 0->1->2 costs 3.
+  const std::vector<Edge> edges{{0, 2, 10}, {0, 1, 1}, {1, 2, 2}};
+  Csr g(3, edges);
+  EXPECT_EQ(dijkstra(g, 0)[2], 3u);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+/// Cross-module integration tests: realistic cost models, tiny egress
+/// rings (backpressure stress — regression territory for the message-loss
+/// bug), machine reuse across heterogeneous apps, and a mixed workload
+/// running two different applications' domains on one machine.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/histogram.hpp"
+#include "apps/index_gather.hpp"
+#include "apps/pingack.hpp"
+#include "apps/sssp.hpp"
+#include "core/tram.hpp"
+#include "graph/generator.hpp"
+#include "runtime/machine.hpp"
+
+namespace {
+
+using namespace tram;
+
+rt::RuntimeConfig realistic_cfg() {
+  rt::RuntimeConfig cfg;  // delta-like alpha/beta, real comm costs
+  cfg.comm_per_msg_send_ns = 500;
+  cfg.comm_per_msg_recv_ns = 500;
+  return cfg;
+}
+
+TEST(Integration, HistogramAllSchemesWithRealDelays) {
+  for (const auto scheme : core::all_schemes()) {
+    rt::Machine m(util::Topology(2, 2, 2), realistic_cfg());
+    apps::HistogramParams p;
+    p.updates_per_worker = 10'000;
+    p.tram.scheme = scheme;
+    p.tram.buffer_items = 256;
+    apps::HistogramApp app(m, p);
+    const auto res = app.run();
+    EXPECT_TRUE(res.verified) << core::to_string(scheme);
+  }
+}
+
+/// Regression: a 2-slot egress ring forces constant backpressure in
+/// Worker::send. Before the SpscRing try_push fix, retried pushes shipped
+/// moved-from (empty) messages and items vanished silently.
+TEST(Integration, TinyEgressRingLosesNothing) {
+  for (const auto scheme :
+       {core::Scheme::WW, core::Scheme::WPs, core::Scheme::PP}) {
+    auto cfg = rt::RuntimeConfig::testing();
+    cfg.egress_ring_capacity = 2;
+    rt::Machine m(util::Topology(2, 2, 2), cfg);
+    apps::HistogramParams p;
+    p.updates_per_worker = 20'000;
+    p.tram.scheme = scheme;
+    p.tram.buffer_items = 16;  // many small messages
+    apps::HistogramApp app(m, p);
+    const auto res = app.run();
+    EXPECT_TRUE(res.verified) << core::to_string(scheme);
+    EXPECT_EQ(res.table_total, 8u * 20'000u);
+  }
+}
+
+TEST(Integration, IndexGatherUnderCommThreadPressure) {
+  auto cfg = realistic_cfg();
+  cfg.comm_per_msg_send_ns = 2'000;  // comm thread clearly the bottleneck
+  cfg.comm_per_msg_recv_ns = 2'000;
+  rt::Machine m(util::Topology(2, 1, 4), cfg);
+  apps::IgParams p;
+  p.requests_per_worker = 5'000;
+  p.tram.scheme = core::Scheme::PP;
+  p.tram.buffer_items = 128;
+  apps::IndexGatherApp app(m, p);
+  const auto res = app.run();
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(Integration, SsspOnRmatWithRealDelays) {
+  graph::GeneratorParams gp;
+  gp.num_vertices = 10'000;
+  gp.avg_degree = 8.0;
+  const graph::Csr g = graph::build_rmat(gp);
+  rt::Machine m(util::Topology(2, 2, 2), realistic_cfg());
+  apps::SsspParams p;
+  p.graph = &g;
+  p.tram.scheme = core::Scheme::WPs;
+  p.tram.buffer_items = 128;
+  p.delta = 16;
+  apps::SsspApp app(m, p);
+  EXPECT_TRUE(app.run().verified);
+}
+
+TEST(Integration, TwoAppsShareOneMachineSequentially) {
+  // One machine, one endpoint registry: an IG app and a histogram app
+  // register domains side by side and run back to back.
+  rt::Machine m(util::Topology(2, 1, 2), rt::RuntimeConfig::testing());
+  apps::HistogramParams hp;
+  hp.updates_per_worker = 3'000;
+  hp.tram.scheme = core::Scheme::PP;
+  hp.tram.buffer_items = 64;
+  apps::HistogramApp histo(m, hp);
+  apps::IgParams ip;
+  ip.requests_per_worker = 3'000;
+  ip.tram.scheme = core::Scheme::PP;
+  ip.tram.buffer_items = 64;
+  apps::IndexGatherApp ig(m, ip);
+
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_TRUE(histo.run().verified) << "round " << round;
+    EXPECT_TRUE(ig.run().verified) << "round " << round;
+  }
+}
+
+TEST(Integration, PingAckTimesAreOrderedByCommCost) {
+  // Doubling the comm-thread per-message cost must not make PingAck
+  // faster (monotonicity sanity of the cost injection).
+  auto run_with = [&](double cost) {
+    auto cfg = realistic_cfg();
+    cfg.comm_per_msg_send_ns = cost;
+    cfg.comm_per_msg_recv_ns = cost;
+    rt::Machine m(util::Topology(2, 1, 4), cfg);
+    apps::PingAckApp app(m);
+    apps::PingAckParams p;
+    p.messages_per_worker = 2'000;
+    return app.run(p).total_s;
+  };
+  const double cheap = run_with(100);
+  const double expensive = run_with(4'000);
+  EXPECT_LT(cheap, expensive);
+}
+
+TEST(Integration, ManyDomainsOnOneMachine) {
+  // Eight PP domains at once: shared-store keys must stay distinct.
+  rt::Machine m(util::Topology(2, 1, 2), rt::RuntimeConfig::testing());
+  core::TramConfig cfg;
+  cfg.scheme = core::Scheme::PP;
+  cfg.buffer_items = 16;
+  std::vector<std::unique_ptr<core::TramDomain<std::uint64_t>>> domains;
+  std::atomic<std::uint64_t> delivered{0};
+  for (int d = 0; d < 8; ++d) {
+    domains.push_back(std::make_unique<core::TramDomain<std::uint64_t>>(
+        m, cfg,
+        [&](rt::Worker&, const std::uint64_t&) { delivered++; }));
+  }
+  const int W = m.topology().workers();
+  m.run([&](rt::Worker& w) {
+    for (auto& d : domains) {
+      auto& h = d->on(w);
+      for (int i = 0; i < 200; ++i) {
+        h.insert(static_cast<WorkerId>(w.rng().below(W)), 1);
+      }
+      h.flush_all();
+    }
+  });
+  EXPECT_EQ(delivered.load(), 8u * W * 200u);
+}
+
+TEST(Integration, WsPSegmentsSurviveWideProcesses) {
+  // 16 workers per process: segment headers index all ranks.
+  rt::Machine m(util::Topology(2, 1, 16), rt::RuntimeConfig::testing());
+  std::atomic<std::uint64_t> delivered{0};
+  core::TramConfig cfg;
+  cfg.scheme = core::Scheme::WsP;
+  cfg.buffer_items = 64;
+  core::TramDomain<std::uint64_t> tram(
+      m, cfg, [&](rt::Worker&, const std::uint64_t&) { delivered++; });
+  const int W = m.topology().workers();
+  m.run([&](rt::Worker& w) {
+    auto& h = tram.on(w);
+    for (int i = 0; i < 2'000; ++i) {
+      h.insert(static_cast<WorkerId>(w.rng().below(W)), 9);
+    }
+    h.flush_all();
+  });
+  EXPECT_EQ(delivered.load(), static_cast<std::uint64_t>(W) * 2'000u);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "net/cost_model.hpp"
+
+namespace {
+
+using tram::net::CostModel;
+
+TEST(CostModel, ZeroModelCostsNothing) {
+  const CostModel m = CostModel::zero();
+  EXPECT_EQ(m.message_ns(0, false), 0u);
+  EXPECT_EQ(m.message_ns(1 << 20, false), 0u);
+  EXPECT_EQ(m.message_ns(1 << 20, true), 0u);
+  EXPECT_EQ(m.injection_ns(4096, false), 0u);
+  EXPECT_EQ(m.wire_ns(false), 0u);
+}
+
+TEST(CostModel, AlphaDominatesSmallMessages) {
+  const CostModel m = CostModel::delta_like();
+  // The paper's fig 1 shape: 1B and 1KB messages cost nearly the same.
+  const auto t1 = m.message_ns(1, false);
+  const auto t1k = m.message_ns(1024, false);
+  EXPECT_LT(static_cast<double>(t1k),
+            1.2 * static_cast<double>(t1));
+  // But 2MB is dominated by beta.
+  const auto t2m = m.message_ns(2 << 20, false);
+  EXPECT_GT(t2m, 2 * t1k);
+}
+
+TEST(CostModel, LocalCheaperThanRemote) {
+  const CostModel m = CostModel::delta_like();
+  EXPECT_LT(m.message_ns(64, true), m.message_ns(64, false));
+  EXPECT_LT(m.wire_ns(true), m.wire_ns(false));
+}
+
+TEST(CostModel, InjectionScalesWithBytes) {
+  CostModel m;
+  m.inject_ns = 100;
+  m.beta_remote_ns = 1.0;
+  EXPECT_EQ(m.injection_ns(0, false), 100u);
+  EXPECT_EQ(m.injection_ns(50, false), 150u);
+}
+
+TEST(CostModel, AggregatedSendCostFormula) {
+  // Section III-C: cost(z items, b bytes, buffer g) = (z/g) alpha + beta b z.
+  CostModel m;
+  m.alpha_remote_ns = 1000;
+  m.beta_remote_ns = 0.5;
+  const double z = 10'000, b = 8;
+  EXPECT_DOUBLE_EQ(m.aggregated_send_cost_ns(z, b, 1.0),
+                   z * 1000 + 0.5 * 8 * z);
+  EXPECT_DOUBLE_EQ(m.aggregated_send_cost_ns(z, b, 100.0),
+                   (z / 100.0) * 1000 + 0.5 * 8 * z);
+  // Aggregation reduces the alpha term by g, never the beta term.
+  const double c1 = m.aggregated_send_cost_ns(z, b, 1);
+  const double c64 = m.aggregated_send_cost_ns(z, b, 64);
+  const double beta_term = 0.5 * 8 * z;
+  EXPECT_GT(c1 - beta_term, 60.0 * (c64 - beta_term));
+}
+
+TEST(CostModel, MonotonicInBufferSize) {
+  const CostModel m = CostModel::delta_like();
+  double prev = 1e300;
+  for (const double g : {1.0, 2.0, 8.0, 64.0, 1024.0, 65536.0}) {
+    const double c = m.aggregated_send_cost_ns(1e6, 24, g);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CostModel, ToStringMentionsParameters) {
+  const std::string s = CostModel::delta_like().to_string();
+  EXPECT_NE(s.find("alpha_remote"), std::string::npos);
+  EXPECT_NE(s.find("inject"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+/// End-to-end smoke tests: a small machine runs each benchmark app with
+/// each scheme and the answers verify. Deeper per-module tests live in the
+/// sibling *_test.cpp files.
+
+#include <gtest/gtest.h>
+
+#include "apps/histogram.hpp"
+#include "apps/index_gather.hpp"
+#include "apps/phold.hpp"
+#include "apps/pingack.hpp"
+#include "apps/pingpong.hpp"
+#include "apps/sssp.hpp"
+#include "core/tram.hpp"
+#include "graph/generator.hpp"
+
+namespace {
+
+using namespace tram;
+
+rt::RuntimeConfig fast_cfg() { return rt::RuntimeConfig::testing(); }
+
+TEST(Smoke, MachineRunsEmptyMain) {
+  rt::Machine m(util::Topology(2, 2, 2), fast_cfg());
+  const auto res = m.run([](rt::Worker&) {});
+  EXPECT_EQ(res.runtime_messages, 0u);
+}
+
+TEST(Smoke, PointToPointMessage) {
+  rt::Machine m(util::Topology(2, 1, 2), fast_cfg());
+  std::atomic<int> got{0};
+  const EndpointId ep = m.register_endpoint(
+      [&](rt::Worker&, rt::Message&& msg) {
+        const auto items = rt::decode_payload<int>(msg);
+        got.fetch_add(items[0]);
+      });
+  m.run([&](rt::Worker& w) {
+    if (w.id() != 0) return;
+    rt::Message msg;
+    msg.endpoint = ep;
+    msg.dst_worker = 3;  // remote process
+    msg.src_worker = 0;
+    msg.payload = rt::encode_payload<int>(41);
+    w.send(std::move(msg));
+  });
+  EXPECT_EQ(got.load(), 41);
+}
+
+TEST(Smoke, HistogramAllSchemes) {
+  for (const auto scheme : core::all_schemes()) {
+    rt::Machine m(util::Topology(2, 2, 2), fast_cfg());
+    apps::HistogramParams p;
+    p.updates_per_worker = 2000;
+    p.bins_per_worker = 512;
+    p.tram.scheme = scheme;
+    p.tram.buffer_items = 64;
+    apps::HistogramApp app(m, p);
+    const auto res = app.run();
+    EXPECT_TRUE(res.verified) << "scheme " << core::to_string(scheme);
+    EXPECT_EQ(res.table_total, 8u * 2000u);
+  }
+}
+
+TEST(Smoke, IndexGatherWPs) {
+  rt::Machine m(util::Topology(2, 2, 2), fast_cfg());
+  apps::IgParams p;
+  p.requests_per_worker = 1000;
+  p.table_entries_per_worker = 256;
+  p.tram.scheme = core::Scheme::WPs;
+  p.tram.buffer_items = 32;
+  apps::IndexGatherApp app(m, p);
+  const auto res = app.run();
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.latency.count(), 8u * 1000u);
+}
+
+TEST(Smoke, SsspMatchesDijkstra) {
+  graph::GeneratorParams gp;
+  gp.num_vertices = 2000;
+  gp.avg_degree = 6.0;
+  const graph::Csr g = graph::build_uniform(gp);
+  rt::Machine m(util::Topology(2, 2, 2), fast_cfg());
+  apps::SsspParams p;
+  p.graph = &g;
+  p.tram.scheme = core::Scheme::PP;
+  p.tram.buffer_items = 64;
+  apps::SsspApp app(m, p);
+  const auto res = app.run();
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(Smoke, PholdRuns) {
+  rt::Machine m(util::Topology(2, 2, 2), fast_cfg());
+  apps::PholdParams p;
+  p.lps_per_worker = 8;
+  p.init_events_per_lp = 2;
+  p.end_time = 50.0;
+  p.tram.scheme = core::Scheme::WPs;
+  p.tram.buffer_items = 32;
+  apps::PholdApp app(m, p);
+  const auto res = app.run();
+  EXPECT_GT(res.events_processed, 0u);
+}
+
+TEST(Smoke, PingPongAndPingAck) {
+  {
+    rt::Machine m(util::Topology(2, 1, 1), fast_cfg());
+    apps::PingPongApp app(m);
+    const auto res = app.run({.payload_bytes = 8, .iterations = 50});
+    EXPECT_GE(res.one_way_us, 0.0);
+  }
+  {
+    rt::Machine m(util::Topology(2, 2, 2), fast_cfg());
+    apps::PingAckApp app(m);
+    const auto res = app.run({.messages_per_worker = 200});
+    EXPECT_GT(res.total_s, 0.0);
+    EXPECT_GT(res.fabric_messages, 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using tram::util::splitmix64;
+using tram::util::Xoshiro256;
+
+TEST(SplitMix64, DeterministicAndAdvancesState) {
+  std::uint64_t s1 = 42, s2 = 42;
+  const std::uint64_t a = splitmix64(s1);
+  const std::uint64_t b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(s1, 42u);  // state advanced
+  EXPECT_NE(splitmix64(s1), a);
+}
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  // Different seed diverges (overwhelmingly likely in 10 draws).
+  bool diverged = false;
+  Xoshiro256 a2(7);
+  for (int i = 0; i < 10; ++i) diverged = diverged || (a2() != c());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Xoshiro, ForStreamGivesIndependentStreams) {
+  Xoshiro256 s0 = Xoshiro256::for_stream(1, 0);
+  Xoshiro256 s1 = Xoshiro256::for_stream(1, 1);
+  Xoshiro256 s0_again = Xoshiro256::for_stream(1, 0);
+  EXPECT_EQ(s0(), s0_again());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0() == s1()) ++same;
+  }
+  EXPECT_LT(same, 2);
+  // Purpose tag splits further.
+  Xoshiro256 p0 = Xoshiro256::for_stream(1, 0, 0);
+  Xoshiro256 p1 = Xoshiro256::for_stream(1, 0, 1);
+  EXPECT_NE(p0(), p1());
+}
+
+TEST(Xoshiro, BelowStaysInBounds) {
+  Xoshiro256 rng(99);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                    1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(123);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kDraws = 160'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.below(kBuckets)]++;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  // Chi-square with 15 dof: 99.9th percentile ~ 37.7.
+  double chi2 = 0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Xoshiro, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(6);
+  for (const double mean : {0.5, 1.0, 4.0}) {
+    double sum = 0;
+    constexpr int kDraws = 200'000;
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = rng.exponential(mean);
+      ASSERT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.03);
+  }
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(1);
+  // Usable with std distributions.
+  std::uniform_int_distribution<int> dist(0, 9);
+  for (int i = 0; i < 100; ++i) {
+    const int v = dist(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+  }
+}
+
+}  // namespace

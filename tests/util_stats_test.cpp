@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/latency_histogram.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tram::util::LatencyHistogram;
+using tram::util::RunningStats;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(-3.5);
+  EXPECT_EQ(s.mean(), -3.5);
+  EXPECT_EQ(s.min(), -3.5);
+  EXPECT_EQ(s.max(), -3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(std::sin(i) * 10 + i % 7);
+  RunningStats whole, left, right;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    whole.add(data[i]);
+    (i < 300 ? left : right).add(data[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile_ns(0.5), 0.0);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+}
+
+TEST(LatencyHistogram, ExactMeanMinMax) {
+  LatencyHistogram h;
+  h.add(100);
+  h.add(200);
+  h.add(600);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 300.0);
+  EXPECT_EQ(h.min_ns(), 100u);
+  EXPECT_EQ(h.max_ns(), 600u);
+}
+
+TEST(LatencyHistogram, PercentileWithinBucketError) {
+  // Log bucketing with 2 sub-buckets per octave: relative error < sqrt(2).
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(1000);  // all exactly 1us
+  const double p50 = h.percentile_ns(0.5);
+  EXPECT_GT(p50, 1000.0 / 1.5);
+  EXPECT_LT(p50, 1000.0 * 1.5);
+}
+
+TEST(LatencyHistogram, PercentileOrdering) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100'000; v += 7) h.add(v);
+  const double p10 = h.percentile_ns(0.10);
+  const double p50 = h.percentile_ns(0.50);
+  const double p99 = h.percentile_ns(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  // Uniform distribution: p50 near 50k within bucket error.
+  EXPECT_GT(p50, 50'000.0 / 1.5);
+  EXPECT_LT(p50, 50'000.0 * 1.5);
+  EXPECT_LE(p99, static_cast<double>(h.max_ns()) * 1.5);
+}
+
+TEST(LatencyHistogram, PercentileClampsQ) {
+  LatencyHistogram h;
+  h.add(5);
+  EXPECT_GT(h.percentile_ns(-1.0), 0.0);
+  EXPECT_GT(h.percentile_ns(2.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombined) {
+  LatencyHistogram a, b, whole;
+  for (std::uint64_t v = 1; v < 5000; v += 3) {
+    a.add(v);
+    whole.add(v);
+  }
+  for (std::uint64_t v = 10'000; v < 200'000; v += 97) {
+    b.add(v);
+    whole.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.mean_ns(), whole.mean_ns());
+  EXPECT_EQ(a.min_ns(), whole.min_ns());
+  EXPECT_EQ(a.max_ns(), whole.max_ns());
+  EXPECT_DOUBLE_EQ(a.percentile_ns(0.9), whole.percentile_ns(0.9));
+}
+
+TEST(LatencyHistogram, HandlesExtremes) {
+  LatencyHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(~std::uint64_t{0});  // clamped into the last bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max_ns(), ~std::uint64_t{0});
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/topology.hpp"
+
+namespace {
+
+using tram::util::Topology;
+
+TEST(Topology, DefaultIsSingleton) {
+  Topology t;
+  EXPECT_EQ(t.nodes(), 1);
+  EXPECT_EQ(t.procs(), 1);
+  EXPECT_EQ(t.workers(), 1);
+}
+
+TEST(Topology, Counts) {
+  Topology t(4, 2, 8);
+  EXPECT_EQ(t.nodes(), 4);
+  EXPECT_EQ(t.procs_per_node(), 2);
+  EXPECT_EQ(t.workers_per_proc(), 8);
+  EXPECT_EQ(t.procs(), 8);
+  EXPECT_EQ(t.workers(), 64);
+  EXPECT_EQ(t.workers_per_node(), 16);
+}
+
+TEST(Topology, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Topology(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Topology(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Topology(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Topology(-2, 1, 1), std::invalid_argument);
+}
+
+TEST(Topology, IdMathIsConsistentExhaustively) {
+  // Every worker id must round-trip through (proc, rank) and agree on its
+  // node, across several shapes including degenerate ones.
+  for (const Topology t : {Topology(1, 1, 1), Topology(3, 1, 1),
+                           Topology(1, 5, 1), Topology(1, 1, 7),
+                           Topology(2, 3, 4), Topology(4, 2, 8)}) {
+    for (tram::WorkerId w = 0; w < t.workers(); ++w) {
+      const tram::ProcId p = t.proc_of_worker(w);
+      const tram::LocalWorkerId r = t.local_rank(w);
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, t.procs());
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, t.workers_per_proc());
+      ASSERT_EQ(t.worker_at(p, r), w);
+      ASSERT_EQ(t.node_of_worker(w), t.node_of_proc(p));
+      ASSERT_GE(w, t.first_worker_of(p));
+      ASSERT_LT(w, t.first_worker_of(p) + t.workers_per_proc());
+    }
+    for (tram::ProcId p = 0; p < t.procs(); ++p) {
+      const tram::NodeId n = t.node_of_proc(p);
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, t.nodes());
+      ASSERT_GE(p, t.first_proc_of(n));
+      ASSERT_LT(p, t.first_proc_of(n) + t.procs_per_node());
+    }
+  }
+}
+
+TEST(Topology, SameProcSameNode) {
+  Topology t(2, 2, 2);  // workers 0..7; procs 0..3; nodes 0..1
+  EXPECT_TRUE(t.same_proc(0, 1));
+  EXPECT_FALSE(t.same_proc(1, 2));
+  EXPECT_TRUE(t.same_node(0, 3));   // procs 0 and 1 on node 0
+  EXPECT_FALSE(t.same_node(3, 4));  // proc 1 (node 0) vs proc 2 (node 1)
+  EXPECT_TRUE(t.same_node(4, 7));
+}
+
+TEST(Topology, NonSmpShape) {
+  // MPI-everywhere / non-SMP: one worker per process.
+  Topology t(2, 8, 1);
+  EXPECT_EQ(t.workers(), 16);
+  for (tram::WorkerId w = 0; w < t.workers(); ++w) {
+    EXPECT_EQ(t.proc_of_worker(w), w);
+    EXPECT_EQ(t.local_rank(w), 0);
+  }
+}
+
+TEST(Topology, ToStringAndEquality) {
+  Topology t(4, 2, 8);
+  EXPECT_EQ(t.to_string(), "4n x 2p x 8w");
+  EXPECT_EQ(t, Topology(4, 2, 8));
+  EXPECT_NE(t, Topology(4, 8, 2));
+}
+
+}  // namespace
