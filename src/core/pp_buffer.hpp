@@ -11,24 +11,30 @@
 ///    `reserved` with a bounded CAS (increment only while reserved < g);
 ///    the CAS-retry count is the paper's "overhead of atomics".
 ///  - committed_ counts completed slot writes. The writer whose commit
-///    makes the buffer full becomes the *sealer*: it copies the slots out,
-///    resets committed_, bumps the epoch with reserved = 0 (reopening the
-///    buffer), and ships the copy. Writers that observe reserved >= g spin
+///    makes the buffer full becomes the *sealer*: it detaches the filled
+///    slab, installs a fresh one from the payload pool, resets committed_,
+///    bumps the epoch with reserved = 0 (reopening the buffer), and ships
+///    the detached slab — no copy. Writers that observe reserved >= g spin
 ///    briefly until the sealer reopens.
 ///  - flush() (partial send) blocks new claims by CASing reserved to g,
-///    waits for in-flight slot writes to commit, copies out, and reopens.
-///    The epoch in the high bits makes claim CASes ABA-safe across reopen.
+///    waits for in-flight slot writes to commit, detaches/replaces the
+///    slab the same way, and reopens. The epoch in the high bits makes
+///    claim CASes ABA-safe across reopen.
 ///
-/// The buffer is a single allocation reused for the whole run — no slab
-/// reclamation problem, no ABA, and the memory footprint matches the
-/// paper's g*m*N-per-process formula.
+/// Slots live in a pooled payload slab (util::PayloadPool): the sealed
+/// buffer IS the outgoing message payload, and the replacement slab is a
+/// recycled one in steady state, so the seal path neither copies nor
+/// allocates. The swap is safe because a new-epoch writer can only read
+/// the slab pointer after the release store that reopens state_, which
+/// happens after the swap; old-epoch writers have all committed before the
+/// sealer runs.
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
-#include <vector>
 
+#include "util/payload_pool.hpp"
 #include "util/spinlock.hpp"
 
 namespace tram::core {
@@ -37,16 +43,19 @@ template <typename Entry>
 class PpBuffer {
  public:
   explicit PpBuffer(std::uint32_t capacity)
-      : slots_(capacity), cap_(capacity) {}
+      : buf_(util::PayloadPool::global().acquire(std::size_t{capacity} *
+                                                 sizeof(Entry))),
+        cap_(capacity) {}
 
   PpBuffer(const PpBuffer&) = delete;
   PpBuffer& operator=(const PpBuffer&) = delete;
 
-  /// Insert one entry. Returns the full buffer contents when the caller
-  /// became the sealer and must ship them; nullopt otherwise. Thread-safe.
-  /// cas_retries is incremented for every failed claim attempt.
-  std::optional<std::vector<Entry>> insert(const Entry& e,
-                                           std::uint64_t& cas_retries) {
+  /// Insert one entry. Returns the full buffer contents (as a pooled,
+  /// ready-to-ship batch) when the caller became the sealer and must ship
+  /// them; nullopt otherwise. Thread-safe. cas_retries is incremented for
+  /// every failed claim attempt.
+  std::optional<util::PooledBatch<Entry>> insert(const Entry& e,
+                                                 std::uint64_t& cas_retries) {
     for (;;) {
       std::uint64_t s = state_.load(std::memory_order_acquire);
       const auto reserved = static_cast<std::uint32_t>(s);
@@ -61,17 +70,17 @@ class PpBuffer {
         ++cas_retries;
         continue;
       }
-      slots_[reserved] = e;
+      slots()[reserved] = e;
       // acq_rel: release publishes our slot write; acquire synchronizes the
       // sealer with every earlier writer's release.
       const std::uint32_t c =
           committed_.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (c == cap_) {
-        std::vector<Entry> out(slots_.begin(), slots_.end());
+        util::PayloadRef out = detach_and_replace();
         committed_.store(0, std::memory_order_relaxed);
         const std::uint64_t epoch = s >> 32;
         state_.store((epoch + 1) << 32, std::memory_order_release);
-        return out;
+        return util::PooledBatch<Entry>(std::move(out));
       }
       return std::nullopt;
     }
@@ -81,7 +90,7 @@ class PpBuffer {
   /// contents, or nullopt when the buffer is empty. Thread-safe; concurrent
   /// flushes serialize on an internal lock, and flush-vs-insert races are
   /// resolved by the same claim protocol.
-  std::optional<std::vector<Entry>> flush() {
+  std::optional<util::PooledBatch<Entry>> flush() {
     std::lock_guard<util::Spinlock> guard(flush_mu_);
     for (;;) {
       std::uint64_t s = state_.load(std::memory_order_acquire);
@@ -103,11 +112,12 @@ class PpBuffer {
       while (committed_.load(std::memory_order_acquire) != reserved) {
         util::cpu_relax();
       }
-      std::vector<Entry> out(slots_.begin(), slots_.begin() + reserved);
+      util::PayloadRef out = detach_and_replace();
+      out.resize(std::size_t{reserved} * sizeof(Entry));
       committed_.store(0, std::memory_order_relaxed);
       const std::uint64_t epoch = s >> 32;
       state_.store((epoch + 1) << 32, std::memory_order_release);
-      return out;
+      return util::PooledBatch<Entry>(std::move(out));
     }
   }
 
@@ -121,7 +131,19 @@ class PpBuffer {
   std::uint32_t capacity() const noexcept { return cap_; }
 
  private:
-  std::vector<Entry> slots_;
+  Entry* slots() noexcept { return reinterpret_cast<Entry*>(buf_.data()); }
+
+  /// Detach the filled slab and install a fresh (recycled) one. Only the
+  /// sealer/flusher runs this, after all claimed writes have committed and
+  /// before the reopening release store.
+  util::PayloadRef detach_and_replace() {
+    util::PayloadRef out = std::move(buf_);
+    buf_ = util::PayloadPool::global().acquire(std::size_t{cap_} *
+                                               sizeof(Entry));
+    return out;
+  }
+
+  util::PayloadRef buf_;
   const std::uint32_t cap_;
   /// (epoch << 32) | reserved-slot-count.
   alignas(util::kCacheLine) std::atomic<std::uint64_t> state_{0};

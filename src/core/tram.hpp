@@ -23,9 +23,16 @@
 /// when full; flushed messages are resized to their actual occupancy; idle
 /// workers flush automatically when flush_on_idle is set.
 ///
+/// The message path is zero-copy end to end: inserts encode entries in
+/// place into pooled slabs (core::EntryBuffer / core::PpBuffer), a full
+/// buffer ships by moving its slab handle into the Message payload, and
+/// WsP's destination-side scatter forwards segments as refcounted views of
+/// the inbound slab.
+///
 /// The five schemes differ only in the buffer granularity and the
 /// destination-side routing — see scheme.hpp and the paper's Figs. 4-7.
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdio>
@@ -45,6 +52,7 @@
 #include "runtime/machine.hpp"
 #include "runtime/message.hpp"
 #include "runtime/worker.hpp"
+#include "util/payload_pool.hpp"
 #include "util/timebase.hpp"
 
 namespace tram::core {
@@ -122,7 +130,9 @@ class TramDomain {
   }
 
   /// Actual bytes reserved in aggregation buffers, machine-wide (compare
-  /// with the section III-C formulas).
+  /// with the section III-C formulas). Counts each destination buffer a
+  /// worker ever populated at its full g — the slab itself cycles through
+  /// the payload pool, but the footprint charge matches the paper's model.
   std::uint64_t allocated_buffer_bytes() const {
     std::uint64_t total = 0;
     for (const auto& h : handles_) {
@@ -168,15 +178,9 @@ class TramDomain {
         });
     // Process-addressed unsorted batch (WPs, PP): the receiving PE groups
     // items by destination worker and local-sends each group.
+    // (decode_payload aborts on a truncated payload in every build mode.)
     ep_grouped_ = machine_.register_endpoint(
         [this](rt::Worker& w, rt::Message&& m) {
-          if (m.payload.size() % sizeof(Entry) != 0) {
-            std::fprintf(stderr,
-                         "TRAM truncated grouped payload: %zu bytes "
-                         "(entry=%zu)\n",
-                         m.payload.size(), sizeof(Entry));
-            std::abort();
-          }
           auto entries = rt::decode_payload<Entry>(m);
           handle(w.id()).regroup_and_deliver(w, entries);
         });
@@ -269,7 +273,7 @@ class TramDomain {
           auto sealed = pp->buffers[static_cast<std::size_t>(dp)]->insert(
               e, stats_.pp_cas_retries);
           if (sealed) {
-            ship_pp(dp, *sealed, /*from_flush=*/false);
+            ship_pp(dp, std::move(*sealed), /*from_flush=*/false);
           }
           break;
         }
@@ -348,7 +352,7 @@ class TramDomain {
                ++dp) {
             auto partial = pp->buffers[static_cast<std::size_t>(dp)]->flush();
             if (partial && !partial->empty()) {
-              ship_pp(dp, *partial, /*from_flush=*/true);
+              ship_pp(dp, std::move(*partial), /*from_flush=*/true);
             }
           }
           break;
@@ -392,16 +396,15 @@ class TramDomain {
       }
     }
 
-    void pri_push(std::vector<Entry>& buf, const Entry& e,
+    void pri_push(EntryBuffer<Entry>& buf, const Entry& e,
                   std::uint32_t g_hi) {
-      if (buf.capacity() == 0) buf.reserve(g_hi);
-      buf.push_back(e);
+      buf.push(e, g_hi);
       pending_.fetch_add(1, std::memory_order_release);
     }
 
     /// Priority ship, WW granularity: straight to the destination worker,
     /// always expedited.
-    void ship_priority_direct(WorkerId dest, std::vector<Entry>& buf) {
+    void ship_priority_direct(WorkerId dest, EntryBuffer<Entry>& buf) {
       auto& d = *domain_;
       const std::size_t n = buf.size();
       rt::Message m;
@@ -409,8 +412,7 @@ class TramDomain {
       m.dst_worker = dest;
       m.src_worker = self_->id();
       m.expedited = true;
-      m.payload = rt::encode_payload(std::span<const Entry>(buf));
-      buf.clear();
+      m.payload = buf.take();
       account_ship(n, /*from_flush=*/false);
       ++stats_.priority_msgs;
       self_->send(std::move(m));
@@ -420,27 +422,23 @@ class TramDomain {
     /// Priority ship, process granularity: expedited grouped message (the
     /// receiver groups; priority batches are small, so the grouping cost
     /// is negligible even for WsP, which skips its source sort here).
-    void ship_priority_proc(ProcId dp, std::vector<Entry>& buf) {
+    void ship_priority_proc(ProcId dp, EntryBuffer<Entry>& buf) {
       auto& d = *domain_;
       const std::size_t n = buf.size();
       rt::Message m;
       m.endpoint = d.ep_grouped_;
       m.src_worker = self_->id();
       m.expedited = true;
-      m.payload = rt::encode_payload(std::span<const Entry>(buf));
-      buf.clear();
+      m.payload = buf.take();
       account_ship(n, /*from_flush=*/false);
       ++stats_.priority_msgs;
       self_->send_to_proc(dp, std::move(m));
       pending_.fetch_sub(n, std::memory_order_release);
     }
 
-    void buffer_push(std::vector<Entry>& buf, const Entry& e) {
-      if (buf.capacity() == 0) {
-        buf.reserve(domain_->cfg_.buffer_items);
-        ++reserved_buffers_;
-      }
-      buf.push_back(e);
+    void buffer_push(EntryBuffer<Entry>& buf, const Entry& e) {
+      if (!buf.ever_acquired()) ++reserved_buffers_;
+      buf.push(e, domain_->cfg_.buffer_items);
       pending_.fetch_add(1, std::memory_order_release);
     }
 
@@ -452,8 +450,8 @@ class TramDomain {
       if (now - last_flush_ns_ > cfg.flush_timeout_ns) flush_all();
     }
 
-    /// WW ship: message straight to the destination worker.
-    void ship_direct(WorkerId dest, std::vector<Entry>& buf,
+    /// WW ship: the filled slab goes straight to the destination worker.
+    void ship_direct(WorkerId dest, EntryBuffer<Entry>& buf,
                      bool from_flush) {
       auto& d = *domain_;
       const std::size_t n = buf.size();
@@ -462,15 +460,15 @@ class TramDomain {
       m.dst_worker = dest;
       m.src_worker = self_->id();
       m.expedited = d.cfg_.expedited;
-      m.payload = rt::encode_payload(std::span<const Entry>(buf));
-      buf.clear();
+      m.payload = buf.take();
       account_ship(n, from_flush);
       self_->send(std::move(m));
       pending_.fetch_sub(n, std::memory_order_release);
     }
 
-    /// WPs/WsP ship: message to the destination process (WsP sorts first).
-    void ship_proc(ProcId dp, std::vector<Entry>& buf, bool from_flush) {
+    /// WPs/WsP ship: message to the destination process (WsP sorts first,
+    /// directly into a fresh pool slab; WPs ships its slab as-is).
+    void ship_proc(ProcId dp, EntryBuffer<Entry>& buf, bool from_flush) {
       auto& d = *domain_;
       const std::size_t n = buf.size();
       rt::Message m;
@@ -479,26 +477,26 @@ class TramDomain {
       if (d.cfg_.scheme == Scheme::WsP) {
         m.endpoint = d.ep_segmented_;
         m.payload = build_segmented_payload(buf);
+        buf.clear();  // keep the slab; the sort copied out of it
       } else {
         m.endpoint = d.ep_grouped_;
-        m.payload = rt::encode_payload(std::span<const Entry>(buf));
+        m.payload = buf.take();
       }
-      buf.clear();
       account_ship(n, from_flush);
       self_->send_to_proc(dp, std::move(m));
       pending_.fetch_sub(n, std::memory_order_release);
     }
 
-    /// PP ship: the sealed/flushed shared-buffer contents.
-    void ship_pp(ProcId dp, const std::vector<Entry>& entries,
+    /// PP ship: the sealed/flushed shared slab, handed off as-is.
+    void ship_pp(ProcId dp, util::PooledBatch<Entry>&& batch,
                  bool from_flush) {
       auto& d = *domain_;
-      const std::size_t n = entries.size();
+      const std::size_t n = batch.size();
       rt::Message m;
       m.endpoint = d.ep_grouped_;
       m.src_worker = self_->id();
       m.expedited = d.cfg_.expedited;
-      m.payload = rt::encode_payload(std::span<const Entry>(entries));
+      m.payload = std::move(batch).take_ref();
       account_ship(n, from_flush);
       self_->send_to_proc(dp, std::move(m));
       d.pp_states_[self_proc_]->pending.fetch_sub(
@@ -512,13 +510,14 @@ class TramDomain {
     }
 
     /// Source-side grouping for WsP: counting sort by destination local
-    /// rank, prefixed by a SegmentHeader of per-rank counts.
-    std::vector<std::byte> build_segmented_payload(
-        const std::vector<Entry>& buf) {
+    /// rank, written straight into the outgoing pool slab after a
+    /// SegmentHeader of per-rank counts.
+    util::PayloadRef build_segmented_payload(const EntryBuffer<Entry>& buf) {
       auto& d = *domain_;
       const int t = d.topo_.workers_per_proc();
+      const std::span<const Entry> src = buf.entries();
       SegmentHeader header;
-      for (const Entry& e : buf) {
+      for (const Entry& e : src) {
         header.counts[d.topo_.local_rank(e.dest)]++;
       }
       std::uint32_t offsets[kMaxLocalWorkers];
@@ -527,16 +526,13 @@ class TramDomain {
         offsets[r] = acc;
         acc += header.counts[r];
       }
-      std::vector<Entry> sorted(buf.size());
-      for (const Entry& e : buf) {
-        sorted[offsets[d.topo_.local_rank(e.dest)]++] = e;
-      }
-      std::vector<std::byte> payload(sizeof(SegmentHeader) +
-                                     sorted.size() * sizeof(Entry));
+      util::PayloadRef payload = util::PayloadPool::global().acquire(
+          sizeof(SegmentHeader) + src.size() * sizeof(Entry));
       std::memcpy(payload.data(), &header, sizeof header);
-      if (!sorted.empty()) {
-        std::memcpy(payload.data() + sizeof header, sorted.data(),
-                    sorted.size() * sizeof(Entry));
+      Entry* sorted =
+          reinterpret_cast<Entry*>(payload.data() + sizeof header);
+      for (const Entry& e : src) {
+        sorted[offsets[d.topo_.local_rank(e.dest)]++] = e;
       }
       return payload;
     }
@@ -561,8 +557,10 @@ class TramDomain {
       }
     }
 
-    /// Destination-side grouping (WPs, PP): deliver our own items, bucket
-    /// the rest per local worker and local-send each bucket.
+    /// Destination-side grouping (WPs, PP): deliver our own items in
+    /// place, bucket the rest straight into per-rank pool slabs and
+    /// local-send each slab (one count pass + one scatter pass: the
+    /// O(g + t) delay of section III-C, now allocation-free).
     void regroup_and_deliver(rt::Worker& w, std::span<const Entry> entries) {
       auto& d = *domain_;
       const int t = d.topo_.workers_per_proc();
@@ -571,38 +569,50 @@ class TramDomain {
         deliver_batch(w, entries);
         return;
       }
-      // Group: one pass to bucket (the O(g + t) delay of section III-C).
-      std::vector<std::vector<Entry>> groups(static_cast<std::size_t>(t));
+      std::uint32_t counts[kMaxLocalWorkers] = {};
       for (const Entry& e : entries) {
-        groups[static_cast<std::size_t>(d.topo_.local_rank(e.dest))]
-            .push_back(e);
+        counts[d.topo_.local_rank(e.dest)]++;
       }
       const LocalWorkerId own = d.topo_.local_rank(w.id());
+      std::array<util::PayloadRef, kMaxLocalWorkers> refs;
+      std::array<Entry*, kMaxLocalWorkers> cursor{};
       for (int r = 0; r < t; ++r) {
-        auto& g = groups[static_cast<std::size_t>(r)];
-        if (g.empty()) continue;
-        if (r == own) {
-          deliver_batch(w, g);
-          continue;
+        if (r == own || counts[r] == 0) continue;
+        refs[static_cast<std::size_t>(r)] =
+            util::PayloadPool::global().acquire(counts[r] * sizeof(Entry));
+        cursor[static_cast<std::size_t>(r)] = reinterpret_cast<Entry*>(
+            refs[static_cast<std::size_t>(r)].data());
+      }
+      for (const Entry& e : entries) {
+        const auto r =
+            static_cast<std::size_t>(d.topo_.local_rank(e.dest));
+        if (static_cast<LocalWorkerId>(r) == own) {
+          deliver_batch(w, std::span<const Entry>(&e, 1));
+        } else {
+          *cursor[r]++ = e;
         }
+      }
+      for (int r = 0; r < t; ++r) {
+        if (r == own || counts[r] == 0) continue;
         rt::Message m;
         m.endpoint = d.ep_direct_;
         m.dst_worker = d.topo_.worker_at(proc, r);
         m.src_worker = w.id();
         m.expedited = d.cfg_.expedited;
-        m.payload = rt::encode_payload(std::span<const Entry>(g));
+        m.payload = std::move(refs[static_cast<std::size_t>(r)]);
         ++stats_.regroup_msgs;
         w.send(std::move(m));
       }
     }
 
-    /// Destination-side scatter (WsP): segments are pre-sorted, so this is
-    /// O(t) message construction with one memcpy per segment.
+    /// Destination-side scatter (WsP): segments are pre-sorted, so each
+    /// remote segment ships as a refcounted view of the inbound slab — no
+    /// copy at all; the slab recycles once the last segment is handled.
     void scatter_segments(rt::Worker& w, const rt::Message& msg) {
       auto& d = *domain_;
       const int t = d.topo_.workers_per_proc();
       const ProcId proc = d.topo_.proc_of_worker(w.id());
-      std::span<const std::byte> bytes(msg.payload);
+      const std::span<const std::byte> bytes = msg.payload.span();
       SegmentHeader header;
       std::memcpy(&header, bytes.data(), sizeof header);
       auto entries = rt::decode_payload<Entry>(bytes.subspan(sizeof header));
@@ -612,6 +622,8 @@ class TramDomain {
         const std::uint32_t count = header.counts[r];
         if (count == 0) continue;
         auto segment = entries.subspan(offset, count);
+        const std::size_t seg_bytes_off =
+            sizeof(SegmentHeader) + offset * sizeof(Entry);
         offset += count;
         if (r == own) {
           deliver_batch(w, segment);
@@ -622,7 +634,7 @@ class TramDomain {
         m.dst_worker = d.topo_.worker_at(proc, r);
         m.src_worker = w.id();
         m.expedited = d.cfg_.expedited;
-        m.payload = rt::encode_payload(segment);
+        m.payload = msg.payload.subref(seg_bytes_off, count * sizeof(Entry));
         ++stats_.regroup_msgs;
         w.send(std::move(m));
       }
@@ -631,8 +643,8 @@ class TramDomain {
     TramDomain* domain_;
     rt::Worker* self_;
     ProcId self_proc_;
-    std::vector<std::vector<Entry>> bufs_;
-    std::vector<std::vector<Entry>> pri_bufs_;
+    std::vector<EntryBuffer<Entry>> bufs_;
+    std::vector<EntryBuffer<Entry>> pri_bufs_;
     std::atomic<std::uint64_t> pending_{0};
     WorkerTramStats stats_;
     std::uint64_t reserved_buffers_ = 0;

@@ -8,10 +8,26 @@
 
 #include "core/scheme.hpp"
 #include "util/latency_histogram.hpp"
+#include "util/payload_pool.hpp"
 #include "util/stats.hpp"
 #include "util/topology.hpp"
 
 namespace tram::core {
+
+/// Snapshot of the process-wide payload pool feeding every aggregation
+/// buffer and message payload. Benchmarks report recycle_rate() (and
+/// occupancy: outstanding/free_slabs) to substantiate the zero-copy,
+/// allocation-free claim on the steady-state insert -> flush -> deliver
+/// path.
+inline util::PayloadPool::Stats payload_pool_stats() {
+  return util::PayloadPool::global().stats();
+}
+
+/// Zero the pool counters between benchmark trials (cached slabs remain,
+/// so a post-warmup trial measures pure recycling).
+inline void reset_payload_pool_stats() {
+  util::PayloadPool::global().reset_stats();
+}
 
 /// Per-worker aggregation counters (owned by one worker; merged after a
 /// run, so plain fields suffice except where the QD thread also reads).

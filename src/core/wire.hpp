@@ -1,7 +1,8 @@
 #pragma once
 ///
 /// \file wire.hpp
-/// \brief On-the-wire representation of aggregated items.
+/// \brief On-the-wire representation of aggregated items, and the pooled
+/// buffer they are aggregated in.
 ///
 /// Every scheme ships arrays of WireEntry<Item>. The paper's per-process
 /// schemes must carry the destination worker alongside the item
@@ -9,13 +10,23 @@
 /// bytes, far below alpha-equivalent cost) plus an optional birth timestamp
 /// for the latency metric. Item must be trivially copyable.
 ///
+/// EntryBuffer is the source-side aggregation buffer: entries are written
+/// in place into a pooled payload slab (util::PayloadPool), so a full
+/// buffer ships as a message by moving the slab handle — encode happens at
+/// insert time, and no serialization or allocation remains on the ship
+/// path. decode is the mirror image: rt::decode_payload views the same
+/// slab bytes as entries at the destination.
+///
 /// WsP messages prepend a SegmentHeader: per-local-worker counts, so the
 /// receiver scatters pre-grouped segments in O(t) instead of scanning g
 /// items.
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <type_traits>
 
+#include "util/payload_pool.hpp"
 #include "util/types.hpp"
 
 namespace tram::core {
@@ -37,6 +48,64 @@ inline constexpr int kMaxLocalWorkers = 64;
 
 struct SegmentHeader {
   std::uint32_t counts[kMaxLocalWorkers] = {};
+};
+
+/// A worker-local aggregation buffer that encodes directly into pool
+/// memory. push() lazily acquires a slab sized for the configured g; the
+/// slab leaves through take() as a ready-to-send payload and the next push
+/// re-acquires (which recycles a previously shipped slab in steady state).
+template <typename Entry>
+  requires std::is_trivially_copyable_v<Entry>
+class EntryBuffer {
+ public:
+  std::uint32_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// True once this buffer has ever acquired storage (memory-footprint
+  /// accounting: mirrors the one-reserve-per-destination the formulas
+  /// charge, even though the slab itself cycles through the pool).
+  bool ever_acquired() const noexcept { return ever_acquired_; }
+
+  Entry* data() noexcept { return reinterpret_cast<Entry*>(ref_.data()); }
+  const Entry* data() const noexcept {
+    return reinterpret_cast<const Entry*>(ref_.data());
+  }
+  std::span<const Entry> entries() const noexcept { return {data(), count_}; }
+
+  /// Append one entry; acquires a pooled slab of cap_items on the first
+  /// push after construction or take(). The caller ships once size()
+  /// reaches cap_items, so occupancy never exceeds the acquired capacity
+  /// (cap_items == 0 degenerates to ship-every-item, like the vector
+  /// buffer it replaced).
+  void push(const Entry& e, std::uint32_t cap_items) {
+    if (ref_.capacity() == 0) {
+      const std::size_t items = cap_items == 0 ? 1 : cap_items;
+      ref_ = util::PayloadPool::global().acquire(items * sizeof(Entry));
+      ever_acquired_ = true;
+    }
+    // The vector this replaced grew on overfill; a slab cannot. A caller
+    // that fails to ship at cap_items would corrupt pool memory.
+    assert((std::size_t{count_} + 1) * sizeof(Entry) <= ref_.capacity() &&
+           "EntryBuffer overfilled: ship threshold not enforced");
+    data()[count_++] = e;
+  }
+
+  /// Hand the buffer off as a message payload sized to the actual
+  /// occupancy, resetting this buffer.
+  util::PayloadRef take() {
+    ref_.resize(std::size_t{count_} * sizeof(Entry));
+    count_ = 0;
+    return std::move(ref_);
+  }
+
+  /// Reset occupancy but keep the slab (for paths that copy out instead of
+  /// shipping the buffer itself, e.g. WsP's counting sort).
+  void clear() noexcept { count_ = 0; }
+
+ private:
+  util::PayloadRef ref_;
+  std::uint32_t count_ = 0;
+  bool ever_acquired_ = false;
 };
 
 }  // namespace tram::core

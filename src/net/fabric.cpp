@@ -8,9 +8,6 @@ namespace tram::net {
 
 Fabric::Fabric(util::Topology topo, CostModel model)
     : topo_(topo), model_(model) {
-  zero_delay_ = model.alpha_remote_ns == 0.0 && model.alpha_local_ns == 0.0 &&
-                model.inject_ns == 0.0 && model.beta_remote_ns == 0.0 &&
-                model.beta_local_ns == 0.0;
   nic_busy_until_.reserve(topo_.nodes());
   for (int n = 0; n < topo_.nodes(); ++n) {
     nic_busy_until_.push_back(
@@ -35,25 +32,29 @@ std::uint64_t Fabric::send(Packet&& p) {
   const std::uint64_t now = util::now_ns();
   p.send_ns = now;
 
-  std::uint64_t arrival = now;
-  if (!zero_delay_) {
-    if (same_node) {
-      // Shared-memory transport: no NIC serialization, cheap alpha.
-      arrival = now + model_.message_ns(bytes, /*same_node=*/true);
-    } else {
-      // Serialize injection through the source node's NIC clock.
-      const std::uint64_t inj = model_.injection_ns(bytes, false);
+  std::uint64_t arrival;
+  if (same_node) {
+    // Shared-memory transport: no NIC serialization, cheap alpha.
+    arrival = now + model_.message_ns(bytes, /*same_node=*/true);
+  } else {
+    // Serialize injection through the source node's NIC clock. A message
+    // with no injection cost occupies the NIC for zero time, so it never
+    // pushes the clock forward — skip the contended RMW entirely (this is
+    // what makes CostModel::zero() runs cheap without a cached flag).
+    const std::uint64_t inj = model_.injection_ns(bytes, false);
+    std::uint64_t end = now;
+    if (inj != 0) {
       auto& busy = nic_busy_until_[src_node]->value;
       std::uint64_t prev = busy.load(std::memory_order_relaxed);
-      std::uint64_t start, end;
+      std::uint64_t start;
       do {
         start = prev > now ? prev : now;
         end = start + inj;
       } while (!busy.compare_exchange_weak(prev, end,
                                            std::memory_order_acq_rel,
                                            std::memory_order_relaxed));
-      arrival = end + model_.wire_ns(false);
     }
+    arrival = end + model_.wire_ns(false);
   }
   p.arrival_ns = arrival;
 

@@ -12,11 +12,13 @@
 ///    spend the wire latency alpha in flight.
 ///  - The packet is pushed to the destination process's ingress MPSC queue
 ///    immediately; the *receiver* refrains from processing it until
-///    wall-clock time reaches arrival_ns (see rt::CommThread's reorder
-///    heap). This gives real wall-clock latency shapes without any
-///    dedicated network threads.
-///  - In zero-delay mode (CostModel::zero()) arrival_ns == send time, so
-///    receivers may process immediately: deterministic tests.
+///    wall-clock time reaches arrival_ns (see the reorder heap in
+///    rt::ModeledFabricTransport). This gives real wall-clock latency
+///    shapes without any dedicated network threads.
+///  - With CostModel::zero() every modeled cost is 0, so arrival_ns equals
+///    the send time and receivers process immediately (deterministic
+///    tests); rt::InlineTransport skips the fabric entirely for the same
+///    purpose, without the per-send NIC-clock CAS.
 ///
 /// Same-node cross-process messages take the cheaper local alpha/beta and
 /// do not serialize through the node NIC (they model cma/xpmem copies).
@@ -79,7 +81,6 @@ class Fabric {
 
   util::Topology topo_;
   CostModel model_;
-  bool zero_delay_ = false;
   // One NIC busy-until clock per node, padded to avoid false sharing.
   std::vector<std::unique_ptr<util::Padded<std::atomic<std::uint64_t>>>>
       nic_busy_until_;

@@ -5,12 +5,14 @@
 ///
 /// A Packet is what a comm thread hands to the Fabric: an opaque payload
 /// plus routing metadata. The runtime layers its own Message envelope inside
-/// the payload; the fabric only reads the routing fields.
+/// the payload; the fabric only reads the routing fields. The payload is the
+/// same pooled, refcounted buffer the originating Message carried — crossing
+/// the Message/Packet boundary moves a handle, never bytes.
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "util/payload_pool.hpp"
 #include "util/types.hpp"
 
 namespace tram::net {
@@ -34,7 +36,7 @@ struct Packet {
   std::uint64_t arrival_ns = 0;
   /// Time the packet was handed to the fabric (for fabric-level stats).
   std::uint64_t send_ns = 0;
-  std::vector<std::byte> payload;
+  util::PayloadRef payload;
 
   std::size_t wire_bytes() const noexcept {
     // Payload plus a fixed header charge, mirroring a real transport.

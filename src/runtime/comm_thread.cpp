@@ -6,53 +6,15 @@
 
 #include "runtime/machine.hpp"
 #include "runtime/process.hpp"
+#include "runtime/transport.hpp"
 #include "runtime/worker.hpp"
 #include "util/spinlock.hpp"
 #include "util/timebase.hpp"
 
 namespace tram::rt {
 
-void forward_to_fabric(Machine& machine, ProcId src_proc, Message&& m,
-                       double cost_ns) {
-  const auto& cfg = machine.config();
-  const double byte_cost =
-      cfg.comm_per_byte_ns * static_cast<double>(m.payload.size());
-  util::spin_for_ns(static_cast<std::uint64_t>(cost_ns + byte_cost));
-
-  net::Packet p;
-  p.src_proc = src_proc;
-  p.dst_proc = m.dst_worker == kInvalidWorker
-                   ? m.dst_proc_hint
-                   : machine.topology().proc_of_worker(m.dst_worker);
-  p.dst_worker = m.dst_worker;
-  p.src_worker = m.src_worker;
-  p.endpoint = m.endpoint;
-  p.expedited = m.expedited;
-  p.payload = std::move(m.payload);
-  machine.fabric().send(std::move(p));
-}
-
-void deliver_packet(Machine& machine, Process& proc, net::Packet&& p,
-                    double cost_ns) {
-  const auto& cfg = machine.config();
-  const double byte_cost =
-      cfg.comm_per_byte_ns * static_cast<double>(p.payload.size());
-  util::spin_for_ns(static_cast<std::uint64_t>(cost_ns + byte_cost));
-  machine.fabric().note_received(proc.id(), p);
-
-  Message m;
-  m.endpoint = p.endpoint;
-  m.src_worker = p.src_worker;
-  m.expedited = p.expedited;
-  m.dst_worker =
-      p.dst_worker == kInvalidWorker ? proc.pick_delivery_worker() : p.dst_worker;
-  m.payload = std::move(p.payload);
-  proc.worker(machine.topology().local_rank(m.dst_worker))
-      .enqueue(std::move(m));
-}
-
 CommThread::CommThread(Machine& machine, Process& proc)
-    : machine_(machine), proc_(proc) {}
+    : machine_(machine), proc_(proc), transport_(machine.transport()) {}
 
 std::size_t CommThread::pump_egress() {
   const auto& cfg = machine_.config();
@@ -65,26 +27,7 @@ std::size_t CommThread::pump_egress() {
     for (std::uint32_t i = 0; i < cfg.progress_batch; ++i) {
       auto m = ring.try_pop();
       if (!m) break;
-      // Process-addressed messages carry their destination in the payload
-      // path: dst_worker == kInvalidWorker is resolved at the receiver.
-      // We still must compute dst_proc here.
-      net::Packet p;
-      p.src_proc = proc_.id();
-      p.src_worker = m->src_worker;
-      p.endpoint = m->endpoint;
-      p.expedited = m->expedited;
-      p.dst_worker = m->dst_worker;
-      if (m->dst_worker == kInvalidWorker) {
-        p.dst_proc = m->dst_proc_hint;
-      } else {
-        p.dst_proc = machine_.topology().proc_of_worker(m->dst_worker);
-      }
-      const double byte_cost = cfg.comm_per_byte_ns *
-                               static_cast<double>(m->payload.size());
-      util::spin_for_ns(static_cast<std::uint64_t>(
-          cfg.comm_per_msg_send_ns + byte_cost));
-      p.payload = std::move(m->payload);
-      machine_.fabric().send(std::move(p));
+      transport_.send(proc_.id(), std::move(*m));
       ++sent_;
       ++forwarded;
     }
@@ -93,19 +36,8 @@ std::size_t CommThread::pump_egress() {
 }
 
 std::size_t CommThread::pump_ingress() {
-  auto& q = machine_.fabric().ingress(proc_.id());
-  while (auto p = q.try_pop()) heap_.push(std::move(*p));
-  std::size_t delivered = 0;
-  std::uint64_t now = util::now_ns();
-  while (!heap_.empty() && heap_.top().arrival_ns <= now) {
-    net::Packet p = std::move(const_cast<net::Packet&>(heap_.top()));
-    heap_.pop();
-    deliver_packet(machine_, proc_, std::move(p),
-                   machine_.config().comm_per_msg_recv_ns);
-    ++delivered_;
-    ++delivered;
-    now = util::now_ns();
-  }
+  const std::size_t delivered = transport_.poll(proc_);
+  delivered_ += delivered;
   return delivered;
 }
 
@@ -119,14 +51,14 @@ void CommThread::run() {
       idle_round = 0;
       continue;
     }
-    if (machine_.stopping() && heap_.empty()) return;
+    const std::uint64_t due = transport_.next_due_ns(proc_.id());
+    if (machine_.stopping() && due == 0) return;
     ++idle_round;
-    if (!heap_.empty()) {
+    if (due != 0) {
       // Packets queued for a future arrival: wait just until the earliest.
       // Sleep for long gaps (burning a shared core would distort every
       // other thread's timing more than a few us of wakeup slack distorts
       // this packet's).
-      const std::uint64_t due = heap_.top().arrival_ns;
       const std::uint64_t now = util::now_ns();
       if (due > now) {
         const std::uint64_t gap = due - now;

@@ -7,27 +7,25 @@
 /// of the process's sends and receives funnel through it. The paper's
 /// section III-A shows this thread is the serializing bottleneck for
 /// fine-grained traffic — the effect reproduced by fig03_pingack — so the
-/// model charges a configurable per-message (and per-byte) processing cost
-/// here, burned with a calibrated spin.
+/// transport charges a configurable per-message (and per-byte) processing
+/// cost here, burned with a calibrated spin.
 ///
-/// Loop structure per iteration:
-///   1. drain worker egress rings -> fabric (paying send cost per message);
-///   2. drain fabric ingress into a reorder heap keyed by modeled arrival
-///      time; deliver every packet whose arrival time has passed (paying
-///      receive cost), routing it to the destination worker's inbox;
-///   3. adaptive idling when nothing was ready.
+/// The comm thread itself is transport-agnostic: it only pumps. Loop
+/// structure per iteration:
+///   1. drain worker egress rings into Transport::send (the transport
+///      charges the send cost and models the network);
+///   2. Transport::poll delivers every due inbound message to the
+///      destination worker's inbox (charging the receive cost);
+///   3. adaptive idling when nothing was ready, waking for the
+///      transport's next modeled arrival.
 
 #include <cstdint>
-#include <queue>
-#include <vector>
-
-#include "net/packet.hpp"
-#include "runtime/message.hpp"
 
 namespace tram::rt {
 
 class Machine;
 class Process;
+class Transport;
 
 class CommThread {
  public:
@@ -37,33 +35,21 @@ class CommThread {
   /// been forwarded.
   void run();
 
-  /// Messages this comm thread forwarded to the fabric / delivered locally.
+  /// Messages this comm thread forwarded to the transport / delivered.
   std::uint64_t sent_count() const noexcept { return sent_; }
   std::uint64_t delivered_count() const noexcept { return delivered_; }
 
  private:
   /// Drain egress rings; returns number of messages forwarded.
   std::size_t pump_egress();
-  /// Drain ingress + deliver due packets; returns number delivered.
+  /// Deliver due inbound traffic; returns number delivered.
   std::size_t pump_ingress();
 
   Machine& machine_;
   Process& proc_;
-  std::priority_queue<net::Packet, std::vector<net::Packet>, net::PacketLater>
-      heap_;
+  Transport& transport_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
 };
-
-/// Shared helper: turn a runtime Message into a fabric Packet and send it,
-/// charging `cost_ns` of processing time to the calling thread. Used by the
-/// comm thread (SMP) and by workers directly (non-SMP).
-void forward_to_fabric(Machine& machine, ProcId src_proc, Message&& m,
-                       double cost_ns);
-
-/// Shared helper: deliver a received packet to a worker of `proc`,
-/// charging `cost_ns`. Routes process-addressed packets round-robin.
-void deliver_packet(Machine& machine, Process& proc, net::Packet&& p,
-                    double cost_ns);
 
 }  // namespace tram::rt

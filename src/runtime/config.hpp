@@ -9,10 +9,23 @@
 
 namespace tram::rt {
 
+/// Which Transport implementation the machine drives its traffic through
+/// (see runtime/transport.hpp).
+enum class TransportKind {
+  /// Cost-model fabric: NIC serialization, modeled latencies, reorder heap.
+  kModeledFabric,
+  /// Zero-delay direct delivery into destination inboxes: deterministic
+  /// tests without the CostModel::zero() machinery.
+  kInline,
+};
+
 struct RuntimeConfig {
   /// Interconnect model (see net::CostModel). zero() for deterministic
-  /// tests, delta_like() for benchmarks.
+  /// tests, delta_like() for benchmarks. Ignored by kInline transport.
   net::CostModel cost = net::CostModel::delta_like();
+
+  /// Transport implementation carrying cross-process messages.
+  TransportKind transport = TransportKind::kModeledFabric;
 
   /// Comm-thread occupancy per message sent / received, nanoseconds. This
   /// models the paper's section III-A finding: the dedicated comm thread
@@ -55,6 +68,14 @@ struct RuntimeConfig {
     c.comm_per_msg_recv_ns = 0.0;
     c.comm_per_byte_ns = 0.0;
     c.qd_settle_ns = 50'000;
+    return c;
+  }
+
+  /// testing(), but over the InlineTransport: the fastest deterministic
+  /// mode (no fabric, no reorder heap, no NIC clock).
+  static RuntimeConfig inline_testing() {
+    RuntimeConfig c = testing();
+    c.transport = TransportKind::kInline;
     return c;
   }
 };

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "runtime/comm_thread.hpp"
+#include "runtime/transport.hpp"
 #include "util/timebase.hpp"
 
 namespace tram::rt {
@@ -14,6 +15,14 @@ Machine::Machine(util::Topology topo, RuntimeConfig cfg)
   if (!cfg_.dedicated_comm && topo_.workers_per_proc() != 1) {
     throw std::invalid_argument(
         "non-SMP mode (dedicated_comm=false) requires workers_per_proc==1");
+  }
+  switch (cfg_.transport) {
+    case TransportKind::kModeledFabric:
+      transport_ = std::make_unique<ModeledFabricTransport>(*this, fabric_);
+      break;
+    case TransportKind::kInline:
+      transport_ = std::make_unique<InlineTransport>(*this);
+      break;
   }
   procs_.reserve(static_cast<std::size_t>(topo_.procs()));
   for (ProcId p = 0; p < topo_.procs(); ++p) {
@@ -68,7 +77,7 @@ void Machine::quiescence_wait(std::uint64_t& t_end_ns) {
     const bool ok = mains_done_.load(std::memory_order_acquire) ==
                         total_workers &&
                     h == s && total_pending() == 0 &&
-                    fabric_.in_flight() == 0;
+                    transport_->in_flight() == 0;
     const std::uint64_t now = util::now_ns();
     if (!ok) {
       first_ok_ns = 0;
@@ -96,9 +105,9 @@ Machine::RunResult Machine::run(const std::function<void(Worker&)>& main_fn,
   mains_done_.store(0, std::memory_order_relaxed);
   // A previous run must have drained completely: leftover messages would be
   // dispatched into the new run's state (and their payloads may alias
-  // freed memory). Fail loudly rather than corrupt.
-  if (fabric_.in_flight() != 0) {
-    throw std::logic_error("Machine::run: fabric packets left over");
+  // recycled pool slabs). Fail loudly rather than corrupt.
+  if (transport_->in_flight() != 0) {
+    throw std::logic_error("Machine::run: transport packets left over");
   }
   for (auto& proc : procs_) {
     for (auto& w : proc->workers_) {
@@ -112,7 +121,7 @@ Machine::RunResult Machine::run(const std::function<void(Worker&)>& main_fn,
       }
     }
   }
-  fabric_.reset();
+  transport_->reset();
   for (auto& proc : procs_) {
     for (auto& w : proc->workers_) {
       w->reseed(seed);
@@ -158,8 +167,8 @@ Machine::RunResult Machine::run(const std::function<void(Worker&)>& main_fn,
 
   RunResult res;
   res.wall_s = static_cast<double>(t_end - t0) * 1e-9;
-  res.fabric_messages = fabric_.total_messages_sent();
-  res.fabric_bytes = fabric_.total_bytes_sent();
+  res.fabric_messages = transport_->total_messages();
+  res.fabric_bytes = transport_->total_bytes();
   res.runtime_messages = total_sent();
   running_ = false;
   return res;

@@ -34,6 +34,8 @@
 
 namespace tram::rt {
 
+class Transport;
+
 class Machine {
  public:
   Machine(util::Topology topo, RuntimeConfig cfg);
@@ -44,7 +46,11 @@ class Machine {
 
   const util::Topology& topology() const noexcept { return topo_; }
   const RuntimeConfig& config() const noexcept { return cfg_; }
+  /// The simulated interconnect (driven only by the kModeledFabric
+  /// transport; idle under kInline).
   net::Fabric& fabric() noexcept { return fabric_; }
+  /// The transport carrying all cross-process traffic (see transport.hpp).
+  Transport& transport() noexcept { return *transport_; }
   EndpointRegistry& endpoints() noexcept { return endpoints_; }
 
   /// Register a message handler on all processes. Only before run().
@@ -103,6 +109,7 @@ class Machine {
   util::Topology topo_;
   RuntimeConfig cfg_;
   net::Fabric fabric_;
+  std::unique_ptr<Transport> transport_;
   EndpointRegistry endpoints_;
   std::vector<std::unique_ptr<Process>> procs_;
 

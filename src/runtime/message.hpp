@@ -5,20 +5,23 @@
 ///
 /// A Message is the unit of message-driven execution: it names an endpoint
 /// (registered handler) and a destination worker, and carries an opaque
-/// byte payload. Within a process, messages move by moving the vector;
-/// between processes they ride inside a net::Packet (same fields, so no
-/// re-serialization happens at the boundary).
+/// byte payload. Payloads are pooled, refcounted buffers
+/// (util::PayloadRef): within a process messages move by moving the
+/// handle; between processes they ride inside a net::Packet (same payload
+/// handle, so the worker -> comm thread -> fabric -> worker path never
+/// copies or allocates).
 ///
 /// Payloads are arrays of trivially-copyable items; the codec below is a
-/// checked memcpy in each direction.
+/// checked memcpy in (encode) and a checked reinterpret view out (decode).
 
-#include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <type_traits>
-#include <vector>
 
+#include "util/payload_pool.hpp"
 #include "util/types.hpp"
 
 namespace tram::rt {
@@ -31,14 +34,15 @@ struct Message {
   /// destination process. The receiving side picks a local worker.
   ProcId dst_proc_hint = -1;
   bool expedited = false;
-  std::vector<std::byte> payload;
+  util::PayloadRef payload;
 };
 
-/// Serialize a span of trivially-copyable items into a byte payload.
+/// Serialize a span of trivially-copyable items into a pooled payload.
 template <typename T>
   requires std::is_trivially_copyable_v<T>
-std::vector<std::byte> encode_payload(std::span<const T> items) {
-  std::vector<std::byte> bytes(items.size_bytes());
+util::PayloadRef encode_payload(std::span<const T> items) {
+  util::PayloadRef bytes =
+      util::PayloadPool::global().acquire(items.size_bytes());
   if (!items.empty()) {
     std::memcpy(bytes.data(), items.data(), items.size_bytes());
   }
@@ -47,23 +51,38 @@ std::vector<std::byte> encode_payload(std::span<const T> items) {
 
 template <typename T>
   requires std::is_trivially_copyable_v<T>
-std::vector<std::byte> encode_payload(const T& item) {
+util::PayloadRef encode_payload(const T& item) {
   return encode_payload(std::span<const T>(&item, 1));
 }
 
-/// View a payload as items of T. The payload must be a whole number of T.
+/// View a payload as items of T. The payload must be a whole number of T;
+/// the check holds in release builds too (a truncated payload here means
+/// wire corruption, not a recoverable condition). An empty payload decodes
+/// to an empty span without ever forming a pointer.
 template <typename T>
   requires std::is_trivially_copyable_v<T>
 std::span<const T> decode_payload(std::span<const std::byte> bytes) {
-  assert(bytes.size() % sizeof(T) == 0 &&
-         "payload size is not a multiple of the item size");
+  if (bytes.empty()) return {};
+  if (bytes.size() % sizeof(T) != 0) {
+    std::fprintf(stderr,
+                 "decode_payload: %zu bytes is not a multiple of the "
+                 "item size %zu\n",
+                 bytes.size(), sizeof(T));
+    std::abort();
+  }
   return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
 }
 
 template <typename T>
   requires std::is_trivially_copyable_v<T>
+std::span<const T> decode_payload(const util::PayloadRef& payload) {
+  return decode_payload<T>(payload.span());
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
 std::span<const T> decode_payload(const Message& m) {
-  return decode_payload<T>(std::span<const std::byte>(m.payload));
+  return decode_payload<T>(m.payload.span());
 }
 
 }  // namespace tram::rt

@@ -15,12 +15,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "net/packet.hpp"
 #include "runtime/message.hpp"
 #include "util/spsc_ring.hpp"
 #include "util/types.hpp"
@@ -83,14 +81,6 @@ class Process {
 
   SharedStore& shared() noexcept { return shared_; }
 
-  /// Reorder heap for non-SMP mode, where the single worker pumps its own
-  /// communication (unused when a comm thread exists).
-  std::priority_queue<net::Packet, std::vector<net::Packet>,
-                      net::PacketLater>&
-  inline_reorder_heap() {
-    return inline_heap_;
-  }
-
  private:
   friend class Machine;
 
@@ -100,8 +90,6 @@ class Process {
   std::vector<std::unique_ptr<util::SpscRing<Message>>> egress_;
   std::atomic<std::uint32_t> rr_{0};
   SharedStore shared_;
-  std::priority_queue<net::Packet, std::vector<net::Packet>, net::PacketLater>
-      inline_heap_;
 };
 
 }  // namespace tram::rt

@@ -1,0 +1,128 @@
+#pragma once
+///
+/// \file transport.hpp
+/// \brief The send/deliver seam between the runtime and the interconnect.
+///
+/// A Transport owns everything between "a Message leaves its source
+/// process" and "a Message lands in a destination worker's inbox". It
+/// replaces the seam that used to be split between net::Fabric, the comm
+/// thread's pump_egress/pump_ingress, and the free helpers
+/// forward_to_fabric/deliver_packet. Two implementations:
+///
+///  - ModeledFabricTransport: today's cost-model path. send() charges the
+///    calling thread the per-message/per-byte comm cost and injects a
+///    net::Packet into the fabric; poll() drains the fabric ingress into a
+///    per-process reorder heap keyed by modeled arrival time and delivers
+///    everything that is due.
+///  - InlineTransport: zero-delay direct delivery — send() routes the
+///    message straight into the destination worker's inbox with no cost
+///    model, no fabric, and no reorder heap. This replaces the
+///    CostModel::zero() special case for deterministic tests, and is the
+///    template for future real backends (shared-memory rings, RDMA): a
+///    backend only has to implement this interface.
+///
+/// Callers: the comm thread (SMP mode) or the worker itself (non-SMP).
+/// send() and poll() for a given process are only invoked from that
+/// process's pumping thread; counters/in_flight are read from anywhere.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "runtime/message.hpp"
+#include "util/types.hpp"
+
+namespace tram::net {
+class Fabric;
+}
+
+namespace tram::rt {
+
+class Machine;
+class Process;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ship a cross-process message out of src_proc, charging the calling
+  /// thread whatever processing cost the transport models. The message's
+  /// destination is dst_worker, or dst_proc_hint when process-addressed.
+  virtual void send(ProcId src_proc, Message&& m) = 0;
+
+  /// Deliver due inbound messages for proc into its workers' inboxes.
+  /// Returns the number delivered.
+  virtual std::size_t poll(Process& proc) = 0;
+
+  /// Earliest modeled arrival still pending for proc after the last
+  /// poll(), or 0 when nothing is queued — the idle-wait hint.
+  virtual std::uint64_t next_due_ns(ProcId p) const = 0;
+
+  /// Messages accepted by send() but not yet delivered (quiescence
+  /// detection: the machine cannot be quiescent while this is nonzero).
+  virtual std::uint64_t in_flight() const = 0;
+
+  /// Aggregate traffic counters (RunResult reporting).
+  virtual std::uint64_t total_messages() const = 0;
+  virtual std::uint64_t total_bytes() const = 0;
+
+  /// Reset counters and clocks between runs (machine quiesced).
+  virtual void reset() = 0;
+};
+
+/// Shared delivery tail: enqueue a routed message into its destination
+/// worker's inbox. m.dst_worker must already be concrete.
+void deliver_to_process(Machine& machine, Process& proc, Message&& m);
+
+/// The cost-model path: fabric injection with per-node NIC serialization,
+/// modeled arrival times, and a destination-side reorder heap.
+class ModeledFabricTransport final : public Transport {
+ public:
+  ModeledFabricTransport(Machine& machine, net::Fabric& fabric);
+
+  void send(ProcId src_proc, Message&& m) override;
+  std::size_t poll(Process& proc) override;
+  std::uint64_t next_due_ns(ProcId p) const override;
+  std::uint64_t in_flight() const override;
+  std::uint64_t total_messages() const override;
+  std::uint64_t total_bytes() const override;
+  void reset() override;
+
+ private:
+  /// Per-process reorder heap; only touched by that process's pumping
+  /// thread, so no locking. unique_ptr keeps neighbours off one line.
+  struct ProcState {
+    std::priority_queue<net::Packet, std::vector<net::Packet>,
+                        net::PacketLater>
+        heap;
+  };
+
+  Machine& machine_;
+  net::Fabric& fabric_;
+  std::vector<std::unique_ptr<ProcState>> states_;
+};
+
+/// Zero-delay direct delivery: deterministic tests and an existence proof
+/// that the runtime is transport-agnostic.
+class InlineTransport final : public Transport {
+ public:
+  explicit InlineTransport(Machine& machine);
+
+  void send(ProcId src_proc, Message&& m) override;
+  std::size_t poll(Process& proc) override;
+  std::uint64_t next_due_ns(ProcId p) const override;
+  std::uint64_t in_flight() const override;
+  std::uint64_t total_messages() const override;
+  std::uint64_t total_bytes() const override;
+  void reset() override;
+
+ private:
+  Machine& machine_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace tram::rt

@@ -6,9 +6,9 @@
 #include <cstdlib>
 #include <functional>
 
-#include "runtime/comm_thread.hpp"
 #include "runtime/machine.hpp"
 #include "runtime/process.hpp"
+#include "runtime/transport.hpp"
 #include "util/spinlock.hpp"
 #include "util/timebase.hpp"
 
@@ -57,8 +57,7 @@ void Worker::send(Message&& m) {
   } else {
     // Non-SMP: this worker does its own communication, paying the
     // per-message processing cost itself.
-    forward_to_fabric(machine_, proc_.id(), std::move(m),
-                      machine_.config().comm_per_msg_send_ns);
+    machine_.transport().send(proc_.id(), std::move(m));
   }
 }
 
@@ -78,8 +77,7 @@ void Worker::send_to_proc(ProcId dst, Message&& m) {
       util::cpu_relax();
     }
   } else {
-    forward_to_fabric(machine_, proc_.id(), std::move(m),
-                      machine_.config().comm_per_msg_send_ns);
+    machine_.transport().send(proc_.id(), std::move(m));
   }
 }
 
@@ -120,21 +118,8 @@ void Worker::run_idle_hooks() {
 }
 
 void Worker::pump_comm_inline() {
-  // Non-SMP: single worker per process pumps the fabric ingress itself.
-  auto& fab = machine_.fabric();
-  auto& q = fab.ingress(proc_.id());
-  auto& heap = proc_.inline_reorder_heap();
-  while (auto p = q.try_pop()) heap.push(std::move(*p));
-  const double recv_cost = machine_.config().comm_per_msg_recv_ns;
-  std::uint64_t now = util::now_ns();
-  while (!heap.empty() && heap.top().arrival_ns <= now) {
-    // priority_queue::top is const; arrival ordering makes the const_cast
-    // move safe (the element is popped immediately after).
-    net::Packet p = std::move(const_cast<net::Packet&>(heap.top()));
-    heap.pop();
-    deliver_packet(machine_, proc_, std::move(p), recv_cost);
-    now = util::now_ns();
-  }
+  // Non-SMP: single worker per process pumps its own communication.
+  machine_.transport().poll(proc_);
 }
 
 void Worker::scheduler_loop() {

@@ -1,0 +1,191 @@
+#include "util/payload_pool.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <thread>
+
+namespace tram::util {
+
+namespace {
+
+/// Round up to a power of two (>= 1).
+std::size_t ceil_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+int log2_of(std::size_t pow2) noexcept {
+  int n = 0;
+  while ((std::size_t{1} << n) < pow2) ++n;
+  return n;
+}
+
+/// Stripe affinity: hash the calling thread once so a thread's releases
+/// land on the free list its next acquire checks first.
+std::size_t my_stripe() noexcept {
+  thread_local const std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripe;
+}
+
+}  // namespace
+
+PayloadPool::PayloadPool() : PayloadPool(Config{}) {}
+
+PayloadPool::PayloadPool(Config cfg) : cfg_(cfg) {
+  cfg_.min_slab_bytes = ceil_pow2(cfg_.min_slab_bytes < 64 ? 64 : cfg_.min_slab_bytes);
+  cfg_.max_slab_bytes = ceil_pow2(cfg_.max_slab_bytes);
+  if (cfg_.max_slab_bytes < cfg_.min_slab_bytes) {
+    cfg_.max_slab_bytes = cfg_.min_slab_bytes;
+  }
+  min_shift_ = log2_of(cfg_.min_slab_bytes);
+  num_classes_ = log2_of(cfg_.max_slab_bytes) - min_shift_ + 1;
+  classes_ = std::make_unique<SizeClass[]>(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    classes_[c].capacity = cfg_.min_slab_bytes << c;
+  }
+}
+
+PayloadPool::~PayloadPool() {
+  // Free every cached slab. Outstanding refs must already be gone: a later
+  // release would touch a destroyed pool (the global pool side-steps this
+  // by never dying).
+  for (int c = 0; c < num_classes_; ++c) {
+    for (auto& stripe : classes_[c].stripes) {
+      detail::SlabHeader* h = stripe.head;
+      while (h != nullptr) {
+        detail::SlabHeader* next = h->next_free;
+        destroy_block(h);
+        h = next;
+      }
+      stripe.head = nullptr;
+    }
+  }
+}
+
+PayloadPool& PayloadPool::global() {
+  // Leaked on purpose: payload refs may outlive every other static.
+  static PayloadPool* pool = new PayloadPool();
+  return *pool;
+}
+
+int PayloadPool::class_index(std::size_t bytes) const noexcept {
+  // Constant-time ceil-log2: hot per-message path (every acquire/release).
+  const int w = static_cast<int>(std::bit_width(bytes - 1));
+  return w <= min_shift_ ? 0 : w - min_shift_;
+}
+
+detail::SlabHeader* PayloadPool::new_block(std::size_t capacity,
+                                           bool pooled) {
+  void* mem = ::operator new(sizeof(detail::SlabHeader) + capacity,
+                             std::align_val_t{kCacheLine});
+  auto* h = new (mem) detail::SlabHeader;
+  h->capacity = capacity;
+  h->owner = this;
+  h->pooled = pooled;
+  return h;
+}
+
+void PayloadPool::destroy_block(detail::SlabHeader* h) noexcept {
+  h->~SlabHeader();
+  ::operator delete(h, std::align_val_t{kCacheLine});
+}
+
+PayloadRef PayloadPool::acquire(std::size_t bytes) {
+  if (bytes == 0) return {};
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+
+  if (bytes > cfg_.max_slab_bytes) {
+    heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    detail::SlabHeader* h = new_block(bytes, /*pooled=*/false);
+    return PayloadRef(h, detail::slab_data(h), bytes);
+  }
+
+  SizeClass& cls = classes_[class_index(bytes)];
+  const std::size_t base = my_stripe();
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    Stripe& stripe = cls.stripes[(base + i) % kStripes];
+    detail::SlabHeader* h = nullptr;
+    {
+      std::lock_guard<Spinlock> g(stripe.mu);
+      h = stripe.head;
+      if (h != nullptr) {
+        stripe.head = h->next_free;
+        // Inside the lock: a pop must always observe the matching push's
+        // increment, or the counter transiently underflows.
+        free_slabs_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (h != nullptr) {
+      pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      h->next_free = nullptr;
+      h->refs.store(1, std::memory_order_relaxed);
+      return PayloadRef(h, detail::slab_data(h), bytes);
+    }
+  }
+
+  if (cfg_.max_slabs_per_class != 0 &&
+      cls.total_slabs.load(std::memory_order_relaxed) >=
+          cfg_.max_slabs_per_class) {
+    // Pool exhausted for this class: degrade to a one-shot heap block.
+    heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    detail::SlabHeader* h = new_block(bytes, /*pooled=*/false);
+    return PayloadRef(h, detail::slab_data(h), bytes);
+  }
+
+  cls.total_slabs.fetch_add(1, std::memory_order_relaxed);
+  slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+  detail::SlabHeader* h = new_block(cls.capacity, /*pooled=*/true);
+  return PayloadRef(h, detail::slab_data(h), bytes);
+}
+
+void PayloadPool::release_slab(detail::SlabHeader* h) noexcept {
+  // Last reference dropped; the owner decides between recycle and free.
+  h->owner->on_release(h);
+}
+
+void PayloadPool::on_release(detail::SlabHeader* h) noexcept {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  if (!h->pooled) {
+    destroy_block(h);
+    return;
+  }
+  SizeClass& cls = classes_[class_index(h->capacity)];
+  Stripe& stripe = cls.stripes[my_stripe() % kStripes];
+  {
+    std::lock_guard<Spinlock> g(stripe.mu);
+    h->next_free = stripe.head;
+    stripe.head = h;
+    free_slabs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PayloadPool::Stats PayloadPool::stats() const {
+  Stats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.slab_allocs = slab_allocs_.load(std::memory_order_relaxed);
+  s.heap_fallbacks = heap_fallbacks_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  s.free_slabs = free_slabs_.load(std::memory_order_relaxed);
+  // A live counter, not acquires - releases: reset_stats() zeroes the
+  // flow counters between benchmark trials while buffers stay alive.
+  s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PayloadPool::reset_stats() {
+  acquires_.store(0, std::memory_order_relaxed);
+  pool_hits_.store(0, std::memory_order_relaxed);
+  slab_allocs_.store(0, std::memory_order_relaxed);
+  heap_fallbacks_.store(0, std::memory_order_relaxed);
+  releases_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tram::util

@@ -102,7 +102,9 @@ TEST(PpBuffer, ConcurrentExactlyOnceDelivery) {
     std::mutex sink_mu;
     std::vector<Entry> sink;
     std::atomic<bool> stop{false};
-    auto drain = [&](std::vector<Entry>&& v) {
+    // Sealed/flushed results are pooled batches; copy them out so the
+    // slab recycles immediately.
+    auto drain = [&](auto&& v) {
       std::lock_guard<std::mutex> g(sink_mu);
       sink.insert(sink.end(), v.begin(), v.end());
     };
@@ -174,6 +176,10 @@ TEST(PpBuffer, ConcurrentFlushersSerialize) {
 }
 
 TEST(PpBuffer, CasRetriesReportedUnderContention) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "CAS contention needs truly parallel writers; a "
+                    "time-sliced single core can serialize every claim";
+  }
   PpBuffer<Entry> buf(128);
   std::atomic<std::uint64_t> total_retries{0};
   std::atomic<std::uint64_t> sealed_items{0};

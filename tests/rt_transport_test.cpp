@@ -1,0 +1,180 @@
+/// The Transport seam: InlineTransport and ModeledFabricTransport with
+/// CostModel::zero() must be observationally equivalent (identical
+/// delivery counts for identical workloads), and the whole aggregation
+/// stack must run unchanged over either implementation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/tram.hpp"
+#include "net/packet.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/transport.hpp"
+#include "util/spinlock.hpp"
+
+namespace {
+
+using namespace tram;
+using rt::Machine;
+using rt::Message;
+using rt::RuntimeConfig;
+using rt::Worker;
+using util::Topology;
+
+/// Per-worker and per-process delivery tallies of a fixed SPMD workload:
+/// every worker sends kPerPair direct messages to every worker and
+/// kPerPair process-addressed messages to every process.
+struct WorkloadResult {
+  std::vector<int> direct_per_worker;
+  std::vector<int> addressed_per_proc;
+  std::uint64_t runtime_messages = 0;
+  std::uint64_t fabric_messages = 0;
+};
+
+WorkloadResult run_workload(const RuntimeConfig& cfg) {
+  constexpr int kPerPair = 20;
+  Machine m(Topology(2, 2, 2), cfg);  // 8 workers across 4 procs
+  const int workers = m.topology().workers();
+  const int procs = m.topology().procs();
+  std::vector<util::Padded<std::atomic<int>>> direct(
+      static_cast<std::size_t>(workers));
+  std::vector<util::Padded<std::atomic<int>>> addressed(
+      static_cast<std::size_t>(procs));
+  const EndpointId ep_direct = m.register_endpoint(
+      [&](Worker& w, Message&& msg) {
+        direct[static_cast<std::size_t>(w.id())].value +=
+            rt::decode_payload<int>(msg)[0];
+      });
+  const EndpointId ep_addr = m.register_endpoint(
+      [&](Worker& w, Message&&) {
+        addressed[static_cast<std::size_t>(
+                      m.topology().proc_of_worker(w.id()))]
+            .value++;
+      });
+  const auto res = m.run([&](Worker& w) {
+    for (WorkerId dst = 0; dst < workers; ++dst) {
+      for (int i = 0; i < kPerPair; ++i) {
+        Message msg;
+        msg.endpoint = ep_direct;
+        msg.dst_worker = dst;
+        msg.src_worker = w.id();
+        msg.payload = rt::encode_payload<int>(1);
+        w.send(std::move(msg));
+      }
+    }
+    for (ProcId p = 0; p < procs; ++p) {
+      for (int i = 0; i < kPerPair; ++i) {
+        Message msg;
+        msg.endpoint = ep_addr;
+        msg.src_worker = w.id();
+        w.send_to_proc(p, std::move(msg));
+      }
+    }
+  });
+  WorkloadResult out;
+  out.direct_per_worker.reserve(static_cast<std::size_t>(workers));
+  for (const auto& c : direct) out.direct_per_worker.push_back(c.value.load());
+  for (const auto& c : addressed) {
+    out.addressed_per_proc.push_back(c.value.load());
+  }
+  out.runtime_messages = res.runtime_messages;
+  out.fabric_messages = res.fabric_messages;
+  return out;
+}
+
+TEST(Transport, InlineMatchesModeledZeroDelay) {
+  const WorkloadResult modeled = run_workload(RuntimeConfig::testing());
+  const WorkloadResult inlined = run_workload(RuntimeConfig::inline_testing());
+  EXPECT_EQ(modeled.direct_per_worker, inlined.direct_per_worker);
+  EXPECT_EQ(modeled.addressed_per_proc, inlined.addressed_per_proc);
+  EXPECT_EQ(modeled.runtime_messages, inlined.runtime_messages);
+  // Both transports see exactly the cross-process subset of the traffic.
+  EXPECT_EQ(modeled.fabric_messages, inlined.fabric_messages);
+}
+
+TEST(Transport, InlineDeliversEveryDirectMessage) {
+  const WorkloadResult r = run_workload(RuntimeConfig::inline_testing());
+  for (const int got : r.direct_per_worker) EXPECT_EQ(got, 8 * 20);
+  for (const int got : r.addressed_per_proc) EXPECT_EQ(got, 8 * 20);
+}
+
+TEST(Transport, InlineWorksInNonSmpMode) {
+  RuntimeConfig cfg = RuntimeConfig::inline_testing();
+  cfg.dedicated_comm = false;
+  Machine m(Topology(2, 2, 1), cfg);
+  std::atomic<int> got{0};
+  const EndpointId ep =
+      m.register_endpoint([&](Worker&, Message&&) { got++; });
+  m.run([&](Worker& w) {
+    Message msg;
+    msg.endpoint = ep;
+    msg.dst_worker = (w.id() + 1) % 4;
+    msg.src_worker = w.id();
+    w.send(std::move(msg));
+  });
+  EXPECT_EQ(got.load(), 4);
+}
+
+TEST(Transport, AllSchemesDeliverEveryItemOverInline) {
+  // The pooled aggregation stack end to end, per scheme, over the inline
+  // transport: every inserted item must reach its destination worker.
+  for (const auto scheme : core::all_schemes()) {
+    Machine m(Topology(2, 2, 2), RuntimeConfig::inline_testing());
+    const int workers = m.topology().workers();
+    std::vector<util::Padded<std::atomic<std::uint64_t>>> received(
+        static_cast<std::size_t>(workers));
+    core::TramConfig tcfg;
+    tcfg.scheme = scheme;
+    tcfg.buffer_items = 64;
+    core::TramDomain<std::uint32_t> tram_dom(
+        m, tcfg, [&](Worker& w, const std::uint32_t& v) {
+          received[static_cast<std::size_t>(w.id())].value += v;
+        });
+    constexpr int kItems = 4000;
+    m.run([&](Worker& w) {
+      auto& h = tram_dom.on(w);
+      for (int i = 0; i < kItems; ++i) {
+        h.insert(static_cast<WorkerId>(i % workers), 1u);
+      }
+      h.flush_all();
+    });
+    std::uint64_t total = 0;
+    for (const auto& c : received) total += c.value.load();
+    EXPECT_EQ(total, static_cast<std::uint64_t>(workers) * kItems)
+        << "scheme " << core::to_string(scheme);
+    const auto stats = tram_dom.aggregate_stats();
+    EXPECT_EQ(stats.items_delivered, stats.items_inserted)
+        << "scheme " << core::to_string(scheme);
+    m.clear_worker_hooks();
+  }
+}
+
+TEST(Transport, InlineCountsBytesLikeTheFabric) {
+  // Same payload sizes must produce the same byte totals on both
+  // implementations (payload + fixed header charge).
+  RuntimeConfig modeled = RuntimeConfig::testing();
+  RuntimeConfig inlined = RuntimeConfig::inline_testing();
+  std::uint64_t bytes_modeled = 0, bytes_inline = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    Machine m(Topology(2, 1, 1), variant == 0 ? modeled : inlined);
+    const EndpointId ep = m.register_endpoint([](Worker&, Message&&) {});
+    const auto res = m.run([&](Worker& w) {
+      if (w.id() != 0) return;
+      for (int i = 0; i < 5; ++i) {
+        Message msg;
+        msg.endpoint = ep;
+        msg.dst_worker = 1;
+        msg.src_worker = 0;
+        msg.payload.resize(100);
+        w.send(std::move(msg));
+      }
+    });
+    (variant == 0 ? bytes_modeled : bytes_inline) = res.fabric_bytes;
+  }
+  EXPECT_EQ(bytes_modeled, bytes_inline);
+  EXPECT_EQ(bytes_modeled, 5u * (100u + net::Packet::kHeaderBytes));
+}
+
+}  // namespace
