@@ -37,6 +37,9 @@ struct BenchOptions {
   bool quick = false;  // ~4x smaller workloads (CI mode)
   std::int64_t trials = 3;
   bool csv = false;
+  /// When nonempty, also write results as a JSON array to this path
+  /// (see JsonReporter; benches with a perf trajectory set a default).
+  std::string json;
 
   /// Parse argv; also honors TRAM_QUICK=1. Returns false on --help/err.
   bool parse(int argc, char** argv, const std::string& what) {
@@ -44,6 +47,7 @@ struct BenchOptions {
     cli.add_flag("quick", &quick, "run a reduced sweep (also TRAM_QUICK=1)");
     cli.add_int("trials", &trials, "timed trials per configuration");
     cli.add_flag("csv", &csv, "also print CSV rows");
+    cli.add_string("json", &json, "write a JSON result array to this path");
     if (!cli.parse(argc, argv)) return false;
     if (const char* env = std::getenv("TRAM_QUICK");
         env && env[0] == '1') {
@@ -51,6 +55,64 @@ struct BenchOptions {
     }
     return true;
   }
+};
+
+/// One configuration's result in a bench sweep, as serialized by
+/// JsonReporter — the machine-readable perf trajectory next to the
+/// human-readable table.
+struct JsonRow {
+  std::string scheme;    // aggregation scheme ("WPs", "Mesh2D", ...)
+  std::string topology;  // machine shape ("4n x 2p x 8w")
+  std::string mesh;      // virtual mesh extents ("8x8"; "-" for direct)
+  double ns_per_item = 0.0;
+  std::uint64_t messages = 0;   // fabric-level (aggregated) messages
+  std::uint64_t bytes = 0;      // fabric-level bytes
+  std::uint64_t forwarded = 0;  // messages re-shipped by intermediates
+  std::uint64_t max_buffers = 0;  // live source buffers, worst worker
+  bool verified = true;
+};
+
+/// Accumulates JsonRows and writes them as one JSON document:
+///   {"bench": <name>, "results": [ {...}, ... ]}
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(JsonRow row) { rows_.push_back(std::move(row)); }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open '%s'\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [",
+                 bench_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const JsonRow& r = rows_[i];
+      std::fprintf(f,
+                   "%s\n    {\"scheme\": \"%s\", \"topology\": \"%s\", "
+                   "\"mesh\": \"%s\", \"ns_per_item\": %.2f, "
+                   "\"messages\": %llu, \"bytes\": %llu, "
+                   "\"forwarded\": %llu, \"max_buffers\": %llu, "
+                   "\"verified\": %s}",
+                   i == 0 ? "" : ",", r.scheme.c_str(), r.topology.c_str(),
+                   r.mesh.c_str(), r.ns_per_item,
+                   static_cast<unsigned long long>(r.messages),
+                   static_cast<unsigned long long>(r.bytes),
+                   static_cast<unsigned long long>(r.forwarded),
+                   static_cast<unsigned long long>(r.max_buffers),
+                   r.verified ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %zu results to %s\n", rows_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<JsonRow> rows_;
 };
 
 /// Interconnect model used by all figure benches (see file comment).

@@ -1,0 +1,124 @@
+/// Routed-vs-direct histogram: the scaling experiment the paper's direct
+/// schemes cannot run. Sweeps the virtual process count and compares
+/// direct WPs against 2-D and 3-D mesh routing (src/route/) on the same
+/// workload. Expectations: the direct scheme's live source buffers grow
+/// O(N) while the meshes hold O(d*N^(1/d)); per-buffer fill (items/msg)
+/// degrades for direct as N grows but stays flat for routed; routed pays
+/// for this with forwarded (multi-hop) messages.
+///
+/// Runs non-SMP (one worker per process) so the process count is the only
+/// variable. Emits BENCH_routed_histogram.json (override with --json).
+
+#include <cstdio>
+
+#include "hist_common.hpp"
+#include "route/virtual_mesh.hpp"
+
+using namespace tram;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt;
+  if (!opt.parse(argc, argv,
+                 "fig_routed_histogram: direct vs 2-D vs 3-D mesh routing"))
+    return 0;
+  if (opt.json.empty()) opt.json = "BENCH_routed_histogram.json";
+
+  const std::uint64_t updates = opt.quick ? 4'000 : 20'000;
+  // Small buffers keep the message rate meaningful at these scales; the
+  // buffer-count contrast is independent of g.
+  const std::uint32_t g = 256;
+  const std::vector<int> proc_counts = opt.quick ? std::vector<int>{16, 64}
+                                                 : std::vector<int>{8, 16, 27, 64};
+
+  const std::vector<core::Scheme> schemes = {
+      core::Scheme::WPs, core::Scheme::Mesh2D, core::Scheme::Mesh3D};
+
+  util::Table table("Routed histogram: " + std::to_string(updates) +
+                    " updates/PE, g=" + std::to_string(g) + ", non-SMP");
+  table.set_header({"procs", "scheme", "mesh", "bufs", "items/msg", "msgs",
+                    "fwd msgs", "wall s", "ok"});
+
+  bench::JsonReporter json("routed_histogram");
+  bench::ShapeChecker shapes;
+
+  struct Cell {
+    bench::HistoPoint point;
+    std::string mesh;
+  };
+  std::vector<std::vector<Cell>> cells(proc_counts.size());
+
+  for (std::size_t pi = 0; pi < proc_counts.size(); ++pi) {
+    const int procs = proc_counts[pi];
+    const util::Topology topo(procs, 1, 1);
+    for (const auto scheme : schemes) {
+      core::TramConfig tram;
+      tram.scheme = scheme;
+      tram.buffer_items = g;
+      std::string mesh = "-";
+      if (core::is_routed(scheme)) {
+        mesh = route::VirtualMesh::auto_factor(procs,
+                                               core::mesh_ndims(scheme))
+                   .to_string();
+      }
+      const auto point = bench::run_histogram(
+          topo, bench::bench_runtime_nonsmp(), tram, updates,
+          static_cast<int>(opt.trials));
+      cells[pi].push_back({point, mesh});
+
+      const double ns_per_item =
+          point.seconds * 1e9 /
+          static_cast<double>(updates * static_cast<std::uint64_t>(procs));
+      table.add_row(
+          {util::Table::fmt_int(procs), core::to_string(scheme), mesh,
+           util::Table::fmt_int(
+               static_cast<long long>(point.max_reserved_buffers)),
+           util::Table::fmt(point.mean_occupancy, 1),
+           util::Table::fmt_int(
+               static_cast<long long>(point.tram_messages)),
+           util::Table::fmt_int(
+               static_cast<long long>(point.forwarded_messages)),
+           util::Table::fmt(point.seconds, 4),
+           point.verified ? "yes" : "NO"});
+
+      bench::JsonRow row;
+      row.scheme = core::to_string(scheme);
+      row.topology = topo.to_string();
+      row.mesh = mesh;
+      row.ns_per_item = ns_per_item;
+      row.messages = point.fabric_messages;
+      row.bytes = point.fabric_bytes;
+      row.forwarded = point.forwarded_messages;
+      row.max_buffers = point.max_reserved_buffers;
+      row.verified = point.verified;
+      json.add(row);
+    }
+  }
+  bench::emit(table, opt);
+  json.write(opt.json);
+
+  // Shape expectations (indices follow `schemes`: 0=WPs, 1=2D, 2=3D).
+  bool all_verified = true;
+  for (const auto& per_proc : cells) {
+    for (const auto& c : per_proc) all_verified = all_verified && c.point.verified;
+  }
+  shapes.expect(all_verified,
+                "every configuration delivered every item exactly once");
+
+  const std::size_t last = proc_counts.size() - 1;  // largest proc count
+  const auto& direct = cells[last][0].point;
+  const auto& mesh2d = cells[last][1].point;
+  const auto& mesh3d = cells[last][2].point;
+  shapes.expect(mesh2d.max_reserved_buffers < direct.max_reserved_buffers,
+                "2-D mesh holds fewer live source buffers than direct WPs "
+                "at the largest scale");
+  shapes.expect(mesh3d.max_reserved_buffers <= mesh2d.max_reserved_buffers,
+                "3-D mesh holds no more live buffers than 2-D");
+  shapes.expect(mesh2d.mean_occupancy > direct.mean_occupancy,
+                "fewer, fatter buffers: routed messages carry more items "
+                "than direct at the largest scale");
+  shapes.expect(direct.forwarded_messages == 0 &&
+                    mesh2d.forwarded_messages > 0,
+                "only the routed scheme forwards through intermediates");
+  shapes.report();
+  return 0;
+}

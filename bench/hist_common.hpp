@@ -13,6 +13,13 @@ struct HistoPoint {
   double seconds = 0.0;
   std::uint64_t tram_messages = 0;  // buffers shipped
   std::uint64_t flush_messages = 0;
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_bytes = 0;
+  /// Messages re-shipped by routing intermediates (0 for direct schemes).
+  std::uint64_t forwarded_messages = 0;
+  /// Live source-side buffers on the worst worker (O(N) direct,
+  /// O(d*N^(1/d)) routed).
+  std::uint64_t max_reserved_buffers = 0;
   double mean_occupancy = 0.0;      // items per shipped message
   bool verified = true;
 };
@@ -36,6 +43,10 @@ inline HistoPoint run_histogram(const util::Topology& topo,
     const auto res = app.run();
     point.tram_messages = res.tram.msgs_shipped;
     point.flush_messages = res.tram.flush_msgs;
+    point.fabric_messages = res.run.fabric_messages;
+    point.fabric_bytes = res.run.fabric_bytes;
+    point.forwarded_messages = res.run.forwarded_messages;
+    point.max_reserved_buffers = res.max_reserved_buffers;
     point.mean_occupancy = res.tram.occupancy_at_ship.mean();
     point.verified = point.verified && res.verified;
     return res.run.wall_s;

@@ -8,6 +8,11 @@
 /// through TramLib and flushes at the end. No reply traffic exists, so the
 /// benchmark isolates aggregation *overhead* (total time, message counts);
 /// latency is irrelevant here by design (paper section III-D).
+///
+/// Scheme::Mesh2D/Mesh3D configurations run the same workload through
+/// route::RoutedDomain instead of TramDomain: identical delivery contract,
+/// multi-hop message path (bench/fig_routed_histogram.cpp sweeps the two
+/// side by side).
 
 #include <cstdint>
 #include <memory>
@@ -15,6 +20,7 @@
 
 #include "core/tram.hpp"
 #include "graph/csr.hpp"
+#include "route/routed_domain.hpp"
 #include "runtime/machine.hpp"
 
 namespace tram::apps {
@@ -32,6 +38,9 @@ struct HistogramResult {
   core::WorkerTramStats tram;
   /// Sum over the whole distributed table after the run.
   std::uint64_t table_total = 0;
+  /// Largest count of live source-side buffers on any one worker — O(N)
+  /// for the direct schemes, O(d * N^(1/d)) for the routed ones.
+  std::uint64_t max_reserved_buffers = 0;
   /// table_total must equal workers * updates_per_worker.
   bool verified = false;
 };
@@ -52,7 +61,9 @@ class HistogramApp {
   rt::Machine& machine_;
   HistogramParams params_;
   graph::BlockPartition part_;
-  core::TramDomain<std::uint64_t> domain_;
+  /// Exactly one of the two is constructed, per params.tram.scheme.
+  std::unique_ptr<core::TramDomain<std::uint64_t>> direct_;
+  std::unique_ptr<route::RoutedDomain<std::uint64_t>> routed_;
   std::vector<std::vector<std::uint64_t>> tables_;
 };
 

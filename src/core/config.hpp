@@ -3,6 +3,7 @@
 /// \file config.hpp
 /// \brief TramLib configuration (scheme, buffer size, flush policy).
 
+#include <array>
 #include <cstdint>
 
 #include "core/scheme.hpp"
@@ -12,6 +13,13 @@ namespace tram::core {
 struct TramConfig {
   Scheme scheme = Scheme::WPs;
 
+  /// Routed schemes only (Mesh2D/Mesh3D): explicit virtual-mesh extents
+  /// (`--route-dims=AxB[xC]`). All-zero means auto-factor the process
+  /// count into mesh_ndims(scheme) near-balanced dimensions. When set, the
+  /// product of the first mesh_ndims(scheme) entries must equal the
+  /// process count.
+  std::array<int, 3> route_dims{0, 0, 0};
+
   /// Buffer size g: items per destination buffer. A buffer is shipped as
   /// one message when it reaches g items (or on flush).
   std::uint32_t buffer_items = 1024;
@@ -19,6 +27,8 @@ struct TramConfig {
   /// Flush automatically whenever the owning worker goes idle. This is what
   /// bounds item latency for irregular applications (SSSP, PDES) — without
   /// it, the tail of a stream can sit in a partially-filled buffer forever.
+  /// Routed schemes require it (RoutedDomain rejects false): entries
+  /// re-aggregated at an intermediate hop have no other drain path.
   bool flush_on_idle = true;
 
   /// Stamp every item with its insert time and record delivery latency at

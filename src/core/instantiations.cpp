@@ -1,6 +1,7 @@
 /// Explicit instantiations of the TramDomain template for common item
 /// types: catches template compile errors at library build time and speeds
-/// up dependent TUs.
+/// up dependent TUs. (RoutedDomain has the same in
+/// route/instantiations.cpp — its own layer.)
 #include <cstdint>
 
 #include "core/tram.hpp"

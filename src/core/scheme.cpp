@@ -1,5 +1,7 @@
 #include "core/scheme.hpp"
 
+#include <cctype>
+
 namespace tram::core {
 
 const char* to_string(Scheme s) {
@@ -9,16 +11,26 @@ const char* to_string(Scheme s) {
     case Scheme::WPs: return "WPs";
     case Scheme::WsP: return "WsP";
     case Scheme::PP: return "PP";
+    case Scheme::Mesh2D: return "Mesh2D";
+    case Scheme::Mesh3D: return "Mesh3D";
   }
   return "?";
 }
 
 std::optional<Scheme> parse_scheme(std::string_view name) {
-  if (name == "None" || name == "none") return Scheme::None;
-  if (name == "WW" || name == "ww") return Scheme::WW;
-  if (name == "WPs" || name == "wps") return Scheme::WPs;
-  if (name == "WsP" || name == "wsp") return Scheme::WsP;
-  if (name == "PP" || name == "pp") return Scheme::PP;
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "none") return Scheme::None;
+  if (lower == "ww") return Scheme::WW;
+  if (lower == "wps") return Scheme::WPs;
+  if (lower == "wsp") return Scheme::WsP;
+  if (lower == "pp") return Scheme::PP;
+  if (lower == "mesh2d") return Scheme::Mesh2D;
+  if (lower == "mesh3d") return Scheme::Mesh3D;
   return std::nullopt;
 }
 
@@ -28,6 +40,10 @@ std::vector<Scheme> all_schemes() {
 
 std::vector<Scheme> aggregating_schemes() {
   return {Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::PP};
+}
+
+std::vector<Scheme> routed_schemes() {
+  return {Scheme::Mesh2D, Scheme::Mesh3D};
 }
 
 }  // namespace tram::core

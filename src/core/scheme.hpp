@@ -27,15 +27,41 @@ enum class Scheme {
   /// The whole source *process* shares one buffer per destination process;
   /// workers claim slots with atomics (Fig. 7).
   PP,
+  /// Topological routing over a virtual 2-D process mesh: the source
+  /// worker keeps one buffer per mesh *coordinate* (O(2*sqrt(N)) buffers
+  /// instead of the direct schemes' O(N)); messages hop dimension by
+  /// dimension and are re-aggregated at intermediates (src/route/).
+  Mesh2D,
+  /// Same, over a 3-D mesh: O(3*cbrt(N)) buffers, up to 3 hops.
+  Mesh3D,
 };
 
 const char* to_string(Scheme s);
+/// Name -> scheme, case-insensitive ("WPs", "wps" and "WPS" all parse).
 std::optional<Scheme> parse_scheme(std::string_view name);
 
-/// All schemes, in the order the paper's figures list them.
+/// The paper's direct schemes, in the order its figures list them.
 std::vector<Scheme> all_schemes();
-/// The aggregating schemes (everything but None).
+/// The direct aggregating schemes (everything but None and the meshes).
 std::vector<Scheme> aggregating_schemes();
+/// The topologically routed schemes (handled by route::RoutedDomain).
+std::vector<Scheme> routed_schemes();
+
+/// True for schemes routed over a virtual mesh (multi-hop, re-aggregated
+/// at intermediates). These are driven by route::RoutedDomain, not
+/// TramDomain.
+inline bool is_routed(Scheme s) {
+  return s == Scheme::Mesh2D || s == Scheme::Mesh3D;
+}
+
+/// Mesh dimensionality d of a routed scheme (0 for direct schemes).
+inline int mesh_ndims(Scheme s) {
+  switch (s) {
+    case Scheme::Mesh2D: return 2;
+    case Scheme::Mesh3D: return 3;
+    default: return 0;
+  }
+}
 
 /// True for schemes whose source-side buffers target processes (and whose
 /// receiver must therefore route items to individual workers).

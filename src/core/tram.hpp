@@ -79,6 +79,10 @@ class TramDomain {
         cfg_(cfg),
         deliver_(std::move(deliver)),
         topo_(machine.topology()) {
+    if (is_routed(cfg_.scheme)) {
+      throw std::invalid_argument(
+          "TramDomain: routed scheme (use route::RoutedDomain)");
+    }
     if (topo_.workers_per_proc() > kMaxLocalWorkers) {
       throw std::invalid_argument("TramDomain: workers_per_proc exceeds "
                                   "kMaxLocalWorkers");
@@ -146,6 +150,18 @@ class TramDomain {
       }
     }
     return total;
+  }
+
+  /// Largest number of distinct aggregation buffers any single worker ever
+  /// populated — grows with the destination count (workers for WW,
+  /// processes for WPs/WsP; 0 for PP, whose buffers are process-shared).
+  /// The routed schemes bound the same metric by O(d * N^(1/d)).
+  std::uint64_t max_reserved_buffers() const {
+    std::uint64_t m = 0;
+    for (const auto& h : handles_) {
+      if (h->reserved_buffers_ > m) m = h->reserved_buffers_;
+    }
+    return m;
   }
 
   /// Zero all counters between benchmark trials (machine must be idle).
@@ -277,6 +293,10 @@ class TramDomain {
           }
           break;
         }
+        case Scheme::Mesh2D:
+        case Scheme::Mesh3D:
+          assert(false && "unreachable: TramDomain rejects routed schemes");
+          break;
       }
       maybe_timeout_flush();
     }
@@ -357,6 +377,10 @@ class TramDomain {
           }
           break;
         }
+        case Scheme::Mesh2D:
+        case Scheme::Mesh3D:
+          assert(false && "unreachable: TramDomain rejects routed schemes");
+          break;
       }
       last_flush_ns_ = util::now_ns();
     }

@@ -46,6 +46,16 @@ struct WorkerTramStats {
   std::uint64_t priority_items = 0;
   /// Expedited messages shipped by the priority path.
   std::uint64_t priority_msgs = 0;
+  /// Routed schemes: messages shipped along a mesh dimension (every hop's
+  /// ship, from sources and intermediates alike).
+  std::uint64_t routed_hop_msgs = 0;
+  /// Routed schemes: messages shipped from an intermediate hop (subset of
+  /// routed_hop_msgs).
+  std::uint64_t routed_forward_msgs = 0;
+  /// Routed schemes: entries re-aggregated into a next-dimension buffer at
+  /// an intermediate. An item whose destination differs from its source in
+  /// k mesh dimensions contributes k-1 here (d-1 worst case).
+  std::uint64_t routed_forwarded_items = 0;
   /// Items per shipped message, observed at ship time.
   util::RunningStats occupancy_at_ship;
   /// Item latency (insert -> delivery), when latency_tracking is on.
@@ -60,6 +70,9 @@ struct WorkerTramStats {
     pp_cas_retries += o.pp_cas_retries;
     priority_items += o.priority_items;
     priority_msgs += o.priority_msgs;
+    routed_hop_msgs += o.routed_hop_msgs;
+    routed_forward_msgs += o.routed_forward_msgs;
+    routed_forwarded_items += o.routed_forwarded_items;
     occupancy_at_ship.merge(o.occupancy_at_ship);
     latency.merge(o.latency);
   }
@@ -79,6 +92,8 @@ inline std::uint64_t buffer_bytes_per_core(Scheme s, std::uint64_t g,
     case Scheme::WsP: return g * m * N;        // one buffer per dest process
     case Scheme::PP: return 0;                 // buffers live on the process
     case Scheme::None: return 0;
+    case Scheme::Mesh2D:
+    case Scheme::Mesh3D: return 0;  // use routed_buffer_bytes_per_core(dims)
   }
   return 0;
 }
@@ -94,6 +109,8 @@ inline std::uint64_t buffer_bytes_per_process(Scheme s, std::uint64_t g,
     case Scheme::WsP: return g * m * N * t;
     case Scheme::PP: return g * m * N;  // shared: one buffer per dest process
     case Scheme::None: return 0;
+    case Scheme::Mesh2D:
+    case Scheme::Mesh3D: return 0;  // use routed_buffer_bytes_per_core(dims)
   }
   return 0;
 }
@@ -124,11 +141,47 @@ inline MessageBounds messages_per_source(Scheme s, std::uint64_t z,
       b.lower = z / g;
       b.upper = z / g + N;
       break;
+    case Scheme::Mesh2D:
+    case Scheme::Mesh3D: {
+      // Dimension-ordered routing: each item is shipped up to d times, but
+      // a worker only ever holds sum(dims_k - 1) live buffers, so the
+      // flush term shrinks from N to ~d * N^(1/d).
+      const int d = mesh_ndims(s);
+      std::uint64_t side = 1;
+      auto pow_d = [d](std::uint64_t v) {
+        std::uint64_t r = 1;
+        for (int i = 0; i < d; ++i) r *= v;
+        return r;
+      };
+      while (pow_d(side + 1) <= N) ++side;
+      b.lower = z / g;
+      b.upper = static_cast<std::uint64_t>(d) * (z / g + side);
+      break;
+    }
     case Scheme::None:
       b.lower = b.upper = z;
       break;
   }
   return b;
+}
+
+/// ---- Routed (mesh) buffer formula ----
+/// A routed source worker keeps one buffer per off-own coordinate per
+/// dimension: sum_k (dims_k - 1) buffers, plus one for same-process
+/// destinations — O(d * N^(1/d)) against the direct schemes' O(N).
+template <typename Dims>
+std::uint64_t routed_buffers_per_core(const Dims& dims) {
+  std::uint64_t total = 1;  // the same-process (local regroup) buffer
+  for (const int d : dims) {
+    if (d > 1) total += static_cast<std::uint64_t>(d) - 1;
+  }
+  return total;
+}
+
+template <typename Dims>
+std::uint64_t routed_buffer_bytes_per_core(std::uint64_t g, std::uint64_t m,
+                                           const Dims& dims) {
+  return g * m * routed_buffers_per_core(dims);
 }
 
 }  // namespace tram::core

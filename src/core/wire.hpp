@@ -20,6 +20,13 @@
 /// WsP messages prepend a SegmentHeader: per-local-worker counts, so the
 /// receiver scatters pre-grouped segments in O(t) instead of scanning g
 /// items.
+///
+/// Routed (mesh) messages prepend a RoutedHeader instead: the mesh
+/// dimension the message travelled along plus its hop ordinal, so
+/// intermediates can validate dimension order and stats can attribute
+/// traffic per hop. The entries that follow carry the *final* destination
+/// worker in WireEntry::dest — intermediates never rewrite entries, they
+/// only re-bucket them.
 
 #include <cassert>
 #include <cstdint>
@@ -50,10 +57,34 @@ struct SegmentHeader {
   std::uint32_t counts[kMaxLocalWorkers] = {};
 };
 
+/// Fixed-size prefix of every routed (mesh) message. sizeof must stay a
+/// multiple of alignof(WireEntry) (8) so the entries that follow decode
+/// aligned in place.
+struct RoutedHeader {
+  /// Guards against a routed payload landing on a direct endpoint.
+  std::uint32_t magic = kMagic;
+  /// Mesh dimension the message was shipped along. Dimension-ordered
+  /// routing corrects dimensions lowest-first, so every entry a receiver
+  /// re-buckets goes to a dimension strictly greater than this.
+  std::uint16_t dim = 0;
+  /// Hop ordinal of this message: 1 for a ship off the source worker,
+  /// 1 + max inbound hop for a ship off an intermediate.
+  std::uint16_t hop = 1;
+
+  static constexpr std::uint32_t kMagic = 0x524d5348;  // "RMSH"
+};
+static_assert(sizeof(RoutedHeader) == 8);
+
 /// A worker-local aggregation buffer that encodes directly into pool
 /// memory. push() lazily acquires a slab sized for the configured g; the
 /// slab leaves through take() as a ready-to-send payload and the next push
 /// re-acquires (which recycles a previously shipped slab in steady state).
+///
+/// A buffer may reserve fixed header space at the front of the slab
+/// (set_header_bytes): entries encode after it, the caller stamps the
+/// header just before take(), and the slab still ships by moving the
+/// handle — this is how routed messages carry their RoutedHeader without a
+/// second allocation or copy.
 template <typename Entry>
   requires std::is_trivially_copyable_v<Entry>
 class EntryBuffer {
@@ -66,9 +97,23 @@ class EntryBuffer {
   /// charge, even though the slab itself cycles through the pool).
   bool ever_acquired() const noexcept { return ever_acquired_; }
 
-  Entry* data() noexcept { return reinterpret_cast<Entry*>(ref_.data()); }
+  /// Reserve header space at the front of every slab this buffer acquires.
+  /// Must be a multiple of alignof(Entry) (entries follow in place) and
+  /// set while the buffer is empty and unacquired.
+  void set_header_bytes(std::uint32_t n) {
+    assert(count_ == 0 && ref_.capacity() == 0);
+    assert(n % alignof(Entry) == 0);
+    header_bytes_ = n;
+  }
+
+  /// The reserved header region; valid once a slab is held (size() > 0).
+  std::byte* header() noexcept { return ref_.data(); }
+
+  Entry* data() noexcept {
+    return reinterpret_cast<Entry*>(ref_.data() + header_bytes_);
+  }
   const Entry* data() const noexcept {
-    return reinterpret_cast<const Entry*>(ref_.data());
+    return reinterpret_cast<const Entry*>(ref_.data() + header_bytes_);
   }
   std::span<const Entry> entries() const noexcept { return {data(), count_}; }
 
@@ -80,20 +125,22 @@ class EntryBuffer {
   void push(const Entry& e, std::uint32_t cap_items) {
     if (ref_.capacity() == 0) {
       const std::size_t items = cap_items == 0 ? 1 : cap_items;
-      ref_ = util::PayloadPool::global().acquire(items * sizeof(Entry));
+      ref_ = util::PayloadPool::global().acquire(header_bytes_ +
+                                                 items * sizeof(Entry));
       ever_acquired_ = true;
     }
     // The vector this replaced grew on overfill; a slab cannot. A caller
     // that fails to ship at cap_items would corrupt pool memory.
-    assert((std::size_t{count_} + 1) * sizeof(Entry) <= ref_.capacity() &&
+    assert(header_bytes_ + (std::size_t{count_} + 1) * sizeof(Entry) <=
+               ref_.capacity() &&
            "EntryBuffer overfilled: ship threshold not enforced");
     data()[count_++] = e;
   }
 
   /// Hand the buffer off as a message payload sized to the actual
-  /// occupancy, resetting this buffer.
+  /// occupancy (header included), resetting this buffer.
   util::PayloadRef take() {
-    ref_.resize(std::size_t{count_} * sizeof(Entry));
+    ref_.resize(header_bytes_ + std::size_t{count_} * sizeof(Entry));
     count_ = 0;
     return std::move(ref_);
   }
@@ -105,6 +152,7 @@ class EntryBuffer {
  private:
   util::PayloadRef ref_;
   std::uint32_t count_ = 0;
+  std::uint32_t header_bytes_ = 0;
   bool ever_acquired_ = false;
 };
 

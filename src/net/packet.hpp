@@ -31,6 +31,9 @@ struct Packet {
   /// destination comm thread (Charm++ expedited entry methods; the paper
   /// uses them to prioritize TramLib messages).
   bool expedited = false;
+  /// Transport hops the content has already taken (mesh routing; see
+  /// rt::Message::hops). Carried so the delivery side can keep counting.
+  std::uint8_t hops = 0;
   /// Wall-clock time (ns) at which the fabric will release the packet to
   /// the destination. Filled in by Fabric::send.
   std::uint64_t arrival_ns = 0;

@@ -1,0 +1,13 @@
+/// Explicit instantiations of the RoutedDomain template for common item
+/// types: catches template compile errors at library build time and speeds
+/// up dependent TUs (mirrors core/instantiations.cpp).
+#include <cstdint>
+
+#include "route/routed_domain.hpp"
+
+namespace tram::route {
+
+template class RoutedDomain<std::uint32_t>;
+template class RoutedDomain<std::uint64_t>;
+
+}  // namespace tram::route

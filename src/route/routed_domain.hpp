@@ -1,0 +1,428 @@
+#pragma once
+///
+/// \file routed_domain.hpp
+/// \brief Multi-hop aggregation over a virtual mesh (Scheme::Mesh2D/3D).
+///
+/// RoutedDomain is the topological-routing sibling of core::TramDomain,
+/// sharing its wire format, pooled EntryBuffers, stats, and delivery
+/// contract, but replacing the direct one-buffer-per-destination-process
+/// layout with one buffer per mesh coordinate per dimension. The message
+/// lifecycle gains an intermediate stage:
+///
+///   insert -> hop-encode (pick the lowest mismatched dimension's buffer)
+///          -> ship (slab handle moves, RoutedHeader stamped in place)
+///          -> re-aggregate (intermediate re-buckets entries one
+///             dimension up instead of delivering)
+///          -> ship ... -> deliver (final process regroups to workers)
+///
+/// Every wire record carries its final destination worker
+/// (WireEntry::dest), so intermediates never rewrite entries — they only
+/// move them between buffers. Quiescence is safe across hops because a
+/// re-bucketed entry raises this worker's pending counter before the
+/// inbound message counts as handled, and flush-on-idle drains
+/// intermediate buffers exactly like source buffers.
+///
+/// The payoff (and the reason this subsystem exists): a source worker's
+/// live buffers shrink from the direct schemes' O(N) to
+/// sum(dims_k - 1) + 1 = O(d * N^(1/d)), so per-buffer fill — and with it
+/// message occupancy — stops degrading as the process count grows. The
+/// price is up to d transport hops per item; the routed stats counters
+/// (routed_hop_msgs / routed_forward_msgs / routed_forwarded_items) make
+/// that trade measurable.
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/tram_stats.hpp"
+#include "core/wire.hpp"
+#include "route/router.hpp"
+#include "route/virtual_mesh.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/message.hpp"
+#include "runtime/worker.hpp"
+#include "util/payload_pool.hpp"
+#include "util/timebase.hpp"
+
+namespace tram::route {
+
+template <typename Item>
+  requires std::is_trivially_copyable_v<Item>
+class RoutedDomain {
+ public:
+  using Entry = core::WireEntry<Item>;
+  /// Runs on the destination worker's thread for every delivered item.
+  using DeliverFn = std::function<void(rt::Worker&, const Item&)>;
+
+  class Handle;
+
+  RoutedDomain(rt::Machine& machine, core::TramConfig cfg, DeliverFn deliver)
+      : machine_(machine),
+        cfg_(cfg),
+        deliver_(std::move(deliver)),
+        topo_(machine.topology()),
+        router_(make_mesh(topo_.procs(), cfg)) {
+    if (topo_.workers_per_proc() > core::kMaxLocalWorkers) {
+      throw std::invalid_argument(
+          "RoutedDomain: workers_per_proc exceeds kMaxLocalWorkers");
+    }
+    // Multi-hop routing makes idle flushing a correctness requirement,
+    // not a latency knob: entries re-aggregated at an intermediate after
+    // the application mains returned can only leave through the idle
+    // hook. A config that disables it would hang quiescence forever on
+    // the first partial intermediate buffer, so reject it loudly. The
+    // timeout-flush and priority knobs are not implemented for routed
+    // domains (ROADMAP) — reject rather than silently ignore.
+    if (!cfg_.flush_on_idle) {
+      throw std::invalid_argument(
+          "RoutedDomain: flush_on_idle=false would strand intermediate-hop "
+          "buffers (multi-hop routing requires idle flushing)");
+    }
+    if (cfg_.flush_timeout_ns != 0 || cfg_.priority_buffer_items != 0) {
+      throw std::invalid_argument(
+          "RoutedDomain: flush_timeout_ns / priority_buffer_items are not "
+          "supported for routed schemes");
+    }
+    register_endpoints();
+    handles_.reserve(static_cast<std::size_t>(topo_.workers()));
+    for (WorkerId w = 0; w < topo_.workers(); ++w) {
+      handles_.push_back(
+          std::unique_ptr<Handle>(new Handle(*this, machine.worker(w))));
+    }
+    install_hooks();
+  }
+
+  RoutedDomain(const RoutedDomain&) = delete;
+  RoutedDomain& operator=(const RoutedDomain&) = delete;
+
+  /// This worker's aggregation handle.
+  Handle& on(rt::Worker& w) {
+    return *handles_[static_cast<std::size_t>(w.id())];
+  }
+  Handle& handle(WorkerId w) { return *handles_[static_cast<std::size_t>(w)]; }
+
+  const core::TramConfig& config() const noexcept { return cfg_; }
+  const VirtualMesh& mesh() const noexcept { return router_.mesh(); }
+  const Router& router() const noexcept { return router_; }
+  rt::Machine& machine() noexcept { return machine_; }
+
+  /// Merged stats across all workers (call after machine.run returns).
+  core::WorkerTramStats aggregate_stats() const {
+    core::WorkerTramStats total;
+    for (const auto& h : handles_) total.merge(h->stats_);
+    return total;
+  }
+  const core::WorkerTramStats& worker_stats(WorkerId w) const {
+    return handles_[static_cast<std::size_t>(w)]->stats_;
+  }
+
+  /// Largest number of distinct aggregation buffers any single worker ever
+  /// populated — the live-buffer count the mesh bounds by
+  /// sum(dims_k - 1) + 1 (compare TramDomain, where the same metric grows
+  /// to the destination-process count).
+  std::uint64_t max_reserved_buffers() const {
+    std::uint64_t m = 0;
+    for (const auto& h : handles_) {
+      if (h->reserved_buffers_ > m) m = h->reserved_buffers_;
+    }
+    return m;
+  }
+
+  /// Actual bytes reserved in aggregation buffers, machine-wide (same
+  /// charge model as TramDomain::allocated_buffer_bytes).
+  std::uint64_t allocated_buffer_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& h : handles_) {
+      total += h->reserved_buffers_ *
+               (sizeof(core::RoutedHeader) +
+                std::uint64_t{cfg_.buffer_items} * sizeof(Entry));
+    }
+    return total;
+  }
+
+  /// Zero all counters between benchmark trials (machine must be idle).
+  void reset_stats() {
+    for (auto& h : handles_) h->stats_ = core::WorkerTramStats{};
+  }
+
+ private:
+  friend class Handle;
+
+  static VirtualMesh make_mesh(int procs, const core::TramConfig& cfg) {
+    const int d = core::mesh_ndims(cfg.scheme);
+    if (d == 0) {
+      throw std::invalid_argument(
+          "RoutedDomain: scheme is not routed (use TramDomain)");
+    }
+    if (cfg.route_dims[0] != 0) {
+      // Extents beyond the scheme's dimensionality are a mismatched
+      // --scheme/--route-dims pair; truncating would silently run the
+      // wrong topology.
+      for (std::size_t k = static_cast<std::size_t>(d);
+           k < cfg.route_dims.size(); ++k) {
+        if (cfg.route_dims[k] != 0) {
+          throw std::invalid_argument(
+              "RoutedDomain: route_dims has more extents than the scheme "
+              "has mesh dimensions");
+        }
+      }
+      return VirtualMesh(procs, std::span<const int>(cfg.route_dims.data(),
+                                                     static_cast<std::size_t>(d)));
+    }
+    return VirtualMesh::auto_factor(procs, d);
+  }
+
+  void register_endpoints() {
+    // Hop delivery: a routed batch (header + entries) lands on some worker
+    // of the hop process, which delivers finals and re-buckets the rest.
+    ep_routed_ = machine_.register_endpoint(
+        [this](rt::Worker& w, rt::Message&& m) {
+          handle(w.id()).on_routed(w, m);
+        });
+    // Final-hop delivery: a batch addressed to one specific worker.
+    ep_final_ = machine_.register_endpoint(
+        [this](rt::Worker& w, rt::Message&& m) {
+          handle(w.id()).deliver_batch(w, rt::decode_payload<Entry>(m));
+        });
+  }
+
+  void install_hooks() {
+    for (WorkerId w = 0; w < topo_.workers(); ++w) {
+      Handle* h = handles_[static_cast<std::size_t>(w)].get();
+      rt::Worker& worker = machine_.worker(w);
+      worker.add_pending_counter([h] {
+        return h->pending_.load(std::memory_order_acquire);
+      });
+      // Unconditional (the constructor rejected flush_on_idle=false):
+      // intermediate buffers drain through this hook.
+      worker.add_idle_hook([h](rt::Worker&) { h->flush_all(); });
+    }
+  }
+
+  rt::Machine& machine_;
+  core::TramConfig cfg_;
+  DeliverFn deliver_;
+  util::Topology topo_;
+  Router router_;
+  EndpointId ep_routed_ = -1;
+  EndpointId ep_final_ = -1;
+  std::vector<std::unique_ptr<Handle>> handles_;
+
+ public:
+  /// Per-worker routing endpoint. Obtain via RoutedDomain::on(worker);
+  /// insert/flush_all must be called from the owning worker's thread.
+  class Handle {
+   public:
+    /// Aggregate one item toward the given destination worker; it will
+    /// arrive after up to mesh().ndims() hops.
+    void insert(WorkerId dest, const Item& item) {
+      auto& d = *domain_;
+      ++stats_.items_inserted;
+      Entry e;
+      e.birth_ns = d.cfg_.latency_tracking ? util::now_ns() : 0;
+      e.dest = dest;
+      e.item = item;
+      route_entry(e, /*hop=*/1);
+    }
+
+    /// Ship every partially filled buffer ("flush accumulated items").
+    /// Idle workers call this automatically when flush_on_idle is set;
+    /// intermediate buffers drain the same way.
+    void flush_all() {
+      for (int slot = 0; slot < static_cast<int>(bufs_.size()); ++slot) {
+        if (!bufs_[static_cast<std::size_t>(slot)].empty()) {
+          ship_slot(slot, /*from_flush=*/true);
+        }
+      }
+    }
+
+    const core::WorkerTramStats& stats() const noexcept { return stats_; }
+    /// Items currently buffered at this worker (source or intermediate).
+    std::uint64_t pending() const noexcept {
+      return pending_.load(std::memory_order_acquire);
+    }
+
+   private:
+    friend class RoutedDomain;
+
+    Handle(RoutedDomain& d, rt::Worker& self)
+        : domain_(&d),
+          self_(&self),
+          self_proc_(d.topo_.proc_of_worker(self.id())) {
+      bufs_.resize(static_cast<std::size_t>(d.router_.slots()));
+      for (auto& b : bufs_) {
+        b.set_header_bytes(sizeof(core::RoutedHeader));
+      }
+      slot_hop_.assign(bufs_.size(), 0);
+    }
+
+    /// Bucket an entry into the buffer of its next hop; ship on fill.
+    /// `hop` is the ordinal this entry's *next* ship will be (1 off the
+    /// source, inbound hop + 1 off an intermediate).
+    void route_entry(const Entry& e, std::uint16_t hop) {
+      auto& d = *domain_;
+      const ProcId dst_proc = d.topo_.proc_of_worker(e.dest);
+      const Router::Hop h = d.router_.next_hop(self_proc_, dst_proc);
+      const int slot = d.router_.slot(h);
+      auto& buf = bufs_[static_cast<std::size_t>(slot)];
+      if (!buf.ever_acquired()) ++reserved_buffers_;
+      buf.push(e, d.cfg_.buffer_items);
+      auto& slot_hop = slot_hop_[static_cast<std::size_t>(slot)];
+      if (hop > slot_hop) slot_hop = hop;
+      pending_.fetch_add(1, std::memory_order_release);
+      if (buf.size() >= d.cfg_.buffer_items) {
+        ship_slot(slot, /*from_flush=*/false);
+      }
+    }
+
+    /// Stamp the RoutedHeader into the slab and ship it to the slot's
+    /// next-hop process — the slab handle moves, nothing is copied.
+    void ship_slot(int slot, bool from_flush) {
+      auto& d = *domain_;
+      auto& buf = bufs_[static_cast<std::size_t>(slot)];
+      const std::size_t n = buf.size();
+      const std::uint16_t hop = slot_hop_[static_cast<std::size_t>(slot)];
+
+      core::RoutedHeader hdr;
+      hdr.dim = static_cast<std::uint16_t>(d.router_.dim_of_slot(slot));
+      hdr.hop = hop;
+      std::memcpy(buf.header(), &hdr, sizeof hdr);
+
+      rt::Message m;
+      m.endpoint = d.ep_routed_;
+      m.src_worker = self_->id();
+      m.expedited = d.cfg_.expedited;
+      m.hops = static_cast<std::uint8_t>(hop - 1);
+      m.payload = buf.take();
+
+      ++stats_.msgs_shipped;
+      ++stats_.routed_hop_msgs;
+      if (hop > 1) ++stats_.routed_forward_msgs;
+      if (from_flush) ++stats_.flush_msgs;
+      stats_.occupancy_at_ship.add(static_cast<double>(n));
+      slot_hop_[static_cast<std::size_t>(slot)] = 0;
+
+      self_->send_to_proc(d.router_.ship_target(self_proc_, slot),
+                          std::move(m));
+      pending_.fetch_sub(n, std::memory_order_release);
+    }
+
+    /// A routed batch arrived at this process: deliver the entries that
+    /// terminate here (regrouping to their workers), re-bucket the rest
+    /// into the next dimension's buffers.
+    void on_routed(rt::Worker& w, const rt::Message& msg) {
+      auto& d = *domain_;
+      const std::span<const std::byte> bytes = msg.payload.span();
+      if (bytes.size() < sizeof(core::RoutedHeader)) {
+        std::fprintf(stderr, "routed message truncated (%zu bytes)\n",
+                     bytes.size());
+        std::abort();
+      }
+      core::RoutedHeader hdr;
+      std::memcpy(&hdr, bytes.data(), sizeof hdr);
+      if (hdr.magic != core::RoutedHeader::kMagic) {
+        std::fprintf(stderr, "routed message with bad magic %x\n",
+                     hdr.magic);
+        std::abort();
+      }
+      const auto entries =
+          rt::decode_payload<Entry>(bytes.subspan(sizeof hdr));
+      const int t = d.topo_.workers_per_proc();
+      const LocalWorkerId own = d.topo_.local_rank(w.id());
+
+      // Count pass: finals per local rank (delivered below), the rest
+      // re-bucketed one dimension up.
+      std::uint32_t counts[core::kMaxLocalWorkers] = {};
+      for (const Entry& e : entries) {
+        if (d.topo_.proc_of_worker(e.dest) == self_proc_) {
+          counts[d.topo_.local_rank(e.dest)]++;
+        }
+      }
+      std::array<util::PayloadRef, core::kMaxLocalWorkers> refs;
+      std::array<Entry*, core::kMaxLocalWorkers> cursor{};
+      for (int r = 0; r < t; ++r) {
+        if (r == own || counts[r] == 0) continue;
+        refs[static_cast<std::size_t>(r)] =
+            util::PayloadPool::global().acquire(counts[r] * sizeof(Entry));
+        cursor[static_cast<std::size_t>(r)] = reinterpret_cast<Entry*>(
+            refs[static_cast<std::size_t>(r)].data());
+      }
+
+      // Scatter pass.
+      for (const Entry& e : entries) {
+        const ProcId dst_proc = d.topo_.proc_of_worker(e.dest);
+        if (dst_proc == self_proc_) {
+          const auto r =
+              static_cast<std::size_t>(d.topo_.local_rank(e.dest));
+          if (static_cast<LocalWorkerId>(r) == own) {
+            deliver_batch(w, std::span<const Entry>(&e, 1));
+          } else {
+            *cursor[r]++ = e;
+          }
+          continue;
+        }
+        // Dimension-ordered: the hop that carried this entry here matched
+        // its coordinate in hdr.dim, so the next mismatch is strictly
+        // higher — a cycle would mean wire corruption.
+        assert(d.router_.next_hop(self_proc_, dst_proc).dim >
+                   static_cast<int>(hdr.dim) &&
+               "routed entry does not advance dimension order");
+        ++stats_.routed_forwarded_items;
+        route_entry(e, static_cast<std::uint16_t>(hdr.hop + 1));
+      }
+
+      for (int r = 0; r < t; ++r) {
+        if (r == own || counts[r] == 0) continue;
+        rt::Message m;
+        m.endpoint = d.ep_final_;
+        m.dst_worker = d.topo_.worker_at(self_proc_, r);
+        m.src_worker = w.id();
+        m.expedited = d.cfg_.expedited;
+        m.payload = std::move(refs[static_cast<std::size_t>(r)]);
+        ++stats_.regroup_msgs;
+        w.send(std::move(m));
+      }
+    }
+
+    /// Final-hop delivery on the destination worker.
+    void deliver_batch(rt::Worker& w, std::span<const Entry> entries) {
+      auto& d = *domain_;
+      const bool track = d.cfg_.latency_tracking;
+      for (const Entry& e : entries) {
+        if (e.dest != w.id()) {
+          std::fprintf(stderr,
+                       "routed misroute: entry dest=%d delivered on "
+                       "worker=%d (mesh=%s)\n",
+                       e.dest, w.id(), d.mesh().to_string().c_str());
+          std::abort();
+        }
+        if (track && e.birth_ns != 0) {
+          stats_.latency.add(util::now_ns() - e.birth_ns);
+        }
+        ++stats_.items_delivered;
+        d.deliver_(w, e.item);
+      }
+    }
+
+    RoutedDomain* domain_;
+    rt::Worker* self_;
+    ProcId self_proc_;
+    std::vector<core::EntryBuffer<Entry>> bufs_;
+    /// Per-slot pending hop ordinal: max over the entries currently in the
+    /// slot's buffer of the hop their next ship will be.
+    std::vector<std::uint16_t> slot_hop_;
+    std::atomic<std::uint64_t> pending_{0};
+    core::WorkerTramStats stats_;
+    std::uint64_t reserved_buffers_ = 0;
+  };
+};
+
+}  // namespace tram::route

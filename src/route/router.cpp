@@ -1,0 +1,13 @@
+#include "route/router.hpp"
+
+namespace tram::route {
+
+Router::Router(VirtualMesh mesh) : mesh_(mesh) {
+  int offset = 0;
+  for (int k = 0; k < mesh_.ndims(); ++k) {
+    offsets_[static_cast<std::size_t>(k)] = offset;
+    offset += mesh_.dim_size(k);
+  }
+}
+
+}  // namespace tram::route

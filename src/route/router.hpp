@@ -1,0 +1,103 @@
+#pragma once
+///
+/// \file router.hpp
+/// \brief Dimension-ordered next-hop computation over a VirtualMesh.
+///
+/// The Router turns (here, destination process) into the single decision a
+/// routed source or intermediate needs: which aggregation buffer slot the
+/// entry belongs in, and which process that slot ships to. Routing is
+/// dimension-ordered (correct the lowest mismatched coordinate first), so
+/// it is deadlock-free in the classic k-ary mesh sense and — more
+/// importantly here — every forward strictly increases the dimension
+/// index, which intermediates assert on.
+///
+/// Buffer slots are laid out per dimension then per coordinate:
+///
+///   [dim 0: coords 0..dims_0-1][dim 1: ...][...][local]
+///
+/// A worker's slot for (dim k, coord c) aggregates every entry whose next
+/// hop is the process at our position with digit k replaced by c. The own
+/// coordinate's slot in each dimension is never used; the one extra
+/// "local" slot aggregates same-process destinations so they ride the
+/// same batched delivery path. Live slots are therefore
+/// sum(dims_k - 1) + 1 = O(d * N^(1/d)).
+
+#include <cassert>
+
+#include "route/virtual_mesh.hpp"
+#include "util/types.hpp"
+
+namespace tram::route {
+
+class Router {
+ public:
+  /// One routing decision. When local is true the destination process is
+  /// `here` itself and dim/coord are meaningless.
+  struct Hop {
+    bool local = false;
+    int dim = 0;     ///< dimension this hop corrects
+    int coord = 0;   ///< target coordinate along dim
+    ProcId proc = 0; ///< next-hop process
+  };
+
+  Router() = default;
+  explicit Router(VirtualMesh mesh);
+
+  const VirtualMesh& mesh() const noexcept { return mesh_; }
+
+  /// The next hop for an entry at `here` destined to process `dst`,
+  /// honoring dimension order: the lowest mismatched dimension is
+  /// corrected first.
+  Hop next_hop(ProcId here, ProcId dst) const noexcept {
+    const int k = mesh_.first_mismatch(here, dst);
+    Hop h;
+    if (k == mesh_.ndims()) {
+      h.local = true;
+      h.proc = here;
+      return h;
+    }
+    h.dim = k;
+    h.coord = mesh_.coord(dst, k);
+    h.proc = mesh_.with_coord(here, k, h.coord);
+    return h;
+  }
+
+  /// Aggregation-buffer slot for a hop (see layout above).
+  int slot(const Hop& h) const noexcept {
+    if (h.local) return local_slot();
+    return offsets_[static_cast<std::size_t>(h.dim)] + h.coord;
+  }
+
+  /// Slot count per worker: sum(dims_k) + 1 (slots at a worker's own
+  /// coordinates stay empty; they exist so indexing is branch-free).
+  int slots() const noexcept { return local_slot() + 1; }
+  int local_slot() const noexcept {
+    return offsets_[static_cast<std::size_t>(mesh_.ndims() - 1)] +
+           mesh_.dim_size(mesh_.ndims() - 1);
+  }
+
+  /// Process a slot's buffer ships to from `here` (the slot's coordinate
+  /// substituted into here's position; local_slot ships to here itself).
+  ProcId ship_target(ProcId here, int slot) const noexcept {
+    if (slot == local_slot()) return here;
+    const int k = dim_of_slot(slot);
+    return mesh_.with_coord(here, k,
+                            slot - offsets_[static_cast<std::size_t>(k)]);
+  }
+
+  /// Dimension a slot belongs to (local_slot() maps to ndims()).
+  int dim_of_slot(int slot) const noexcept {
+    if (slot == local_slot()) return mesh_.ndims();
+    for (int k = mesh_.ndims() - 1; k >= 0; --k) {
+      if (slot >= offsets_[static_cast<std::size_t>(k)]) return k;
+    }
+    assert(false && "dim_of_slot: negative slot");
+    return mesh_.ndims();
+  }
+
+ private:
+  VirtualMesh mesh_;
+  std::array<int, VirtualMesh::kMaxDims> offsets_{0, 0, 0};
+};
+
+}  // namespace tram::route

@@ -169,6 +169,7 @@ Machine::RunResult Machine::run(const std::function<void(Worker&)>& main_fn,
   res.wall_s = static_cast<double>(t_end - t0) * 1e-9;
   res.fabric_messages = transport_->total_messages();
   res.fabric_bytes = transport_->total_bytes();
+  res.forwarded_messages = transport_->total_forwarded();
   res.runtime_messages = total_sent();
   running_ = false;
   return res;

@@ -17,6 +17,11 @@
 /// analogue): all application mains returned, every runtime message sent
 /// has been handled, and every registered pending counter (aggregation
 /// buffers, deferred work) reads zero — stable across a settle window.
+/// Multi-hop routed traffic (src/route/) is covered by the same counting:
+/// entries re-aggregated at an intermediate raise that worker's pending
+/// counter before the inbound message counts as handled, so the machine
+/// can never look quiescent while forwarded entries sit in a
+/// next-dimension buffer or a re-shipped message is in flight.
 
 #include <atomic>
 #include <barrier>
@@ -65,6 +70,9 @@ class Machine {
     /// Fabric-level (aggregated) messages and bytes.
     std::uint64_t fabric_messages = 0;
     std::uint64_t fabric_bytes = 0;
+    /// Subset of fabric_messages re-shipped by topological-routing
+    /// intermediates (Message::hops > 0).
+    std::uint64_t forwarded_messages = 0;
     /// Runtime-level messages (one per Message::send, local or remote).
     std::uint64_t runtime_messages = 0;
   };

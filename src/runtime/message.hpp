@@ -34,6 +34,11 @@ struct Message {
   /// destination process. The receiving side picks a local worker.
   ProcId dst_proc_hint = -1;
   bool expedited = false;
+  /// Transport hops already taken by the payload's content: 0 for a ship
+  /// off the originating worker, >0 when a topological-routing
+  /// intermediate re-ships re-aggregated entries (src/route/). Transports
+  /// count hops > 0 sends as forwarded traffic.
+  std::uint8_t hops = 0;
   util::PayloadRef payload;
 };
 

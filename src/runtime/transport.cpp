@@ -50,6 +50,8 @@ void ModeledFabricTransport::send(ProcId src_proc, Message&& m) {
   util::spin_for_ns(
       static_cast<std::uint64_t>(cfg.comm_per_msg_send_ns + byte_cost));
 
+  if (m.hops > 0) forwarded_.fetch_add(1, std::memory_order_relaxed);
+
   net::Packet p;
   p.src_proc = src_proc;
   p.dst_proc = dst_proc_of(machine_, m);
@@ -57,6 +59,7 @@ void ModeledFabricTransport::send(ProcId src_proc, Message&& m) {
   p.src_worker = m.src_worker;
   p.endpoint = m.endpoint;
   p.expedited = m.expedited;
+  p.hops = m.hops;
   p.payload = std::move(m.payload);
   fabric_.send(std::move(p));
 }
@@ -84,6 +87,7 @@ std::size_t ModeledFabricTransport::poll(Process& proc) {
     m.endpoint = p.endpoint;
     m.src_worker = p.src_worker;
     m.expedited = p.expedited;
+    m.hops = p.hops;
     m.dst_worker = p.dst_worker == kInvalidWorker
                        ? proc.pick_delivery_worker()
                        : p.dst_worker;
@@ -114,7 +118,14 @@ std::uint64_t ModeledFabricTransport::total_bytes() const {
   return fabric_.total_bytes_sent();
 }
 
-void ModeledFabricTransport::reset() { fabric_.reset(); }
+std::uint64_t ModeledFabricTransport::total_forwarded() const {
+  return forwarded_.load(std::memory_order_relaxed);
+}
+
+void ModeledFabricTransport::reset() {
+  forwarded_.store(0, std::memory_order_relaxed);
+  fabric_.reset();
+}
 
 // ---- InlineTransport ----
 
@@ -126,6 +137,7 @@ void InlineTransport::send(ProcId /*src_proc*/, Message&& m) {
     throw std::out_of_range("InlineTransport::send: bad dst_proc");
   }
   messages_.fetch_add(1, std::memory_order_relaxed);
+  if (m.hops > 0) forwarded_.fetch_add(1, std::memory_order_relaxed);
   // Charge the same fixed header as the fabric so byte counters compare.
   bytes_.fetch_add(m.payload.size() + net::Packet::kHeaderBytes,
                    std::memory_order_relaxed);
@@ -150,9 +162,14 @@ std::uint64_t InlineTransport::total_bytes() const {
   return bytes_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t InlineTransport::total_forwarded() const {
+  return forwarded_.load(std::memory_order_relaxed);
+}
+
 void InlineTransport::reset() {
   messages_.store(0, std::memory_order_relaxed);
   bytes_.store(0, std::memory_order_relaxed);
+  forwarded_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace tram::rt

@@ -68,6 +68,10 @@ class Transport {
   /// Aggregate traffic counters (RunResult reporting).
   virtual std::uint64_t total_messages() const = 0;
   virtual std::uint64_t total_bytes() const = 0;
+  /// Subset of total_messages() sent with Message::hops > 0: traffic
+  /// re-shipped by a topological-routing intermediate rather than an
+  /// originating worker.
+  virtual std::uint64_t total_forwarded() const = 0;
 
   /// Reset counters and clocks between runs (machine quiesced).
   virtual void reset() = 0;
@@ -89,6 +93,7 @@ class ModeledFabricTransport final : public Transport {
   std::uint64_t in_flight() const override;
   std::uint64_t total_messages() const override;
   std::uint64_t total_bytes() const override;
+  std::uint64_t total_forwarded() const override;
   void reset() override;
 
  private:
@@ -103,6 +108,7 @@ class ModeledFabricTransport final : public Transport {
   Machine& machine_;
   net::Fabric& fabric_;
   std::vector<std::unique_ptr<ProcState>> states_;
+  std::atomic<std::uint64_t> forwarded_{0};
 };
 
 /// Zero-delay direct delivery: deterministic tests and an existence proof
@@ -117,12 +123,14 @@ class InlineTransport final : public Transport {
   std::uint64_t in_flight() const override;
   std::uint64_t total_messages() const override;
   std::uint64_t total_bytes() const override;
+  std::uint64_t total_forwarded() const override;
   void reset() override;
 
  private:
   Machine& machine_;
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
 };
 
 }  // namespace tram::rt

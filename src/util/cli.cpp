@@ -26,6 +26,49 @@ void Cli::add_string(std::string name, std::string* out, std::string help) {
       {std::move(name), Kind::Str, out, std::move(help), *out});
 }
 
+namespace {
+
+/// "AxB[xC]" for help/default display; all-zero renders as "auto".
+std::string dims_repr(const std::array<int, 3>& dims) {
+  if (dims[0] == 0) return "auto";
+  std::string s = std::to_string(dims[0]);
+  for (int k = 1; k < 3 && dims[static_cast<std::size_t>(k)] != 0; ++k) {
+    s += 'x';
+    s += std::to_string(dims[static_cast<std::size_t>(k)]);
+  }
+  return s;
+}
+
+bool parse_dims(std::string_view value, std::array<int, 3>& out) {
+  std::array<int, 3> dims{0, 0, 0};
+  int n = 0;
+  const char* p = value.data();
+  const char* end = value.data() + value.size();
+  while (p < end) {
+    if (n == 3) return false;
+    int extent = 0;
+    auto [next, ec] = std::from_chars(p, end, extent);
+    if (ec != std::errc() || next == p || extent < 1) return false;
+    dims[static_cast<std::size_t>(n++)] = extent;
+    p = next;
+    if (p == end) break;
+    if (*p != 'x' && *p != 'X') return false;
+    ++p;
+    if (p == end) return false;  // trailing 'x'
+  }
+  if (n < 2) return false;  // a mesh needs at least two extents
+  out = dims;
+  return true;
+}
+
+}  // namespace
+
+void Cli::add_dims(std::string name, std::array<int, 3>* out,
+                   std::string help) {
+  options_.push_back(
+      {std::move(name), Kind::Dims, out, std::move(help), dims_repr(*out)});
+}
+
 const Cli::Option* Cli::find(std::string_view name) const {
   for (const auto& opt : options_) {
     if (opt.name == name) return &opt;
@@ -65,6 +108,9 @@ bool Cli::apply(const Option& opt, std::string_view value) {
     case Kind::Str: {
       *static_cast<std::string*>(opt.out) = std::string(value);
       return true;
+    }
+    case Kind::Dims: {
+      return parse_dims(value, *static_cast<std::array<int, 3>*>(opt.out));
     }
   }
   return false;

@@ -7,6 +7,7 @@
 /// arguments are an error (fail fast beats silently ignored typos in an
 /// experiment sweep). Every option self-documents for --help.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -25,6 +26,10 @@ class Cli {
   void add_int(std::string name, std::int64_t* out, std::string help);
   void add_double(std::string name, double* out, std::string help);
   void add_string(std::string name, std::string* out, std::string help);
+  /// Mesh extents: "AxB" or "AxBxC" (case-insensitive 'x', each extent
+  /// >= 1). Unused trailing entries stay 0 — the all-zero default means
+  /// "auto-factor" (see core::TramConfig::route_dims / --route-dims).
+  void add_dims(std::string name, std::array<int, 3>* out, std::string help);
 
   /// Parse argv. Returns false (after printing help or an error) when the
   /// caller should exit; true when parsing succeeded.
@@ -33,7 +38,7 @@ class Cli {
   std::string help() const;
 
  private:
-  enum class Kind { Flag, Int, Double, Str };
+  enum class Kind { Flag, Int, Double, Str, Dims };
   struct Option {
     std::string name;  // without leading dashes
     Kind kind;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/scheme.hpp"
 #include "core/tram_stats.hpp"
 
@@ -13,10 +15,25 @@ TEST(Scheme, ParseRoundTrips) {
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, s);
   }
+  for (const Scheme s : routed_schemes()) {
+    const auto parsed = parse_scheme(to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
   EXPECT_EQ(parse_scheme("wps"), Scheme::WPs);
   EXPECT_EQ(parse_scheme("pp"), Scheme::PP);
   EXPECT_FALSE(parse_scheme("bogus").has_value());
   EXPECT_FALSE(parse_scheme("").has_value());
+}
+
+TEST(Scheme, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_scheme("WPS"), Scheme::WPs);
+  EXPECT_EQ(parse_scheme("Wps"), Scheme::WPs);
+  EXPECT_EQ(parse_scheme("wSp"), Scheme::WsP);
+  EXPECT_EQ(parse_scheme("NONE"), Scheme::None);
+  EXPECT_EQ(parse_scheme("mesh2d"), Scheme::Mesh2D);
+  EXPECT_EQ(parse_scheme("MESH2D"), Scheme::Mesh2D);
+  EXPECT_EQ(parse_scheme("Mesh3D"), Scheme::Mesh3D);
 }
 
 TEST(Scheme, Predicates) {
@@ -27,6 +44,12 @@ TEST(Scheme, Predicates) {
   EXPECT_TRUE(process_addressed(Scheme::PP));
   EXPECT_TRUE(shares_source_buffers(Scheme::PP));
   EXPECT_FALSE(shares_source_buffers(Scheme::WPs));
+  EXPECT_FALSE(is_routed(Scheme::WPs));
+  EXPECT_TRUE(is_routed(Scheme::Mesh2D));
+  EXPECT_TRUE(is_routed(Scheme::Mesh3D));
+  EXPECT_EQ(mesh_ndims(Scheme::Mesh2D), 2);
+  EXPECT_EQ(mesh_ndims(Scheme::Mesh3D), 3);
+  EXPECT_EQ(mesh_ndims(Scheme::WW), 0);
 }
 
 TEST(Scheme, ListsAreConsistent) {
@@ -34,6 +57,10 @@ TEST(Scheme, ListsAreConsistent) {
   EXPECT_EQ(aggregating_schemes().size(), 4u);
   for (const Scheme s : aggregating_schemes()) {
     EXPECT_NE(s, Scheme::None);
+  }
+  EXPECT_EQ(routed_schemes().size(), 2u);
+  for (const Scheme s : routed_schemes()) {
+    EXPECT_TRUE(is_routed(s));
   }
 }
 
@@ -96,6 +123,34 @@ TEST(Formulas, LongStreamBoundsConverge) {
       static_cast<double>(ww.upper - wps.upper) /
       static_cast<double>(ww.lower);
   EXPECT_LT(spread, 1e-4);
+}
+
+TEST(Formulas, RoutedBuffersPerCore) {
+  // O(d * N^(1/d)): 64 processes as 8x8 -> 15 buffers, 4x4x4 -> 10,
+  // against the direct schemes' 64.
+  const std::array<int, 2> dims2{8, 8};
+  EXPECT_EQ(routed_buffers_per_core(dims2), 15u);
+  EXPECT_EQ(routed_buffer_bytes_per_core(1024, 24, dims2),
+            1024u * 24u * 15u);
+  const std::array<int, 3> dims3{4, 4, 4};
+  EXPECT_EQ(routed_buffers_per_core(dims3), 10u);
+  // Extents of 1 contribute nothing (that dimension never mismatches).
+  const std::array<int, 3> degenerate{1, 1, 7};
+  EXPECT_EQ(routed_buffers_per_core(degenerate), 7u);
+}
+
+TEST(Formulas, RoutedMessageBounds) {
+  // 64 processes, 2-D: up to d ships per item, flush term d * side.
+  const auto mesh2d =
+      messages_per_source(Scheme::Mesh2D, 100'000, 1'000, 64, 1);
+  EXPECT_EQ(mesh2d.lower, 100u);
+  EXPECT_EQ(mesh2d.upper, 2u * (100u + 8u));
+  const auto mesh3d =
+      messages_per_source(Scheme::Mesh3D, 100'000, 1'000, 64, 1);
+  EXPECT_EQ(mesh3d.upper, 3u * (100u + 4u));
+  // The routed flush term beats the direct one once N outgrows d*N^(1/d).
+  const auto direct = messages_per_source(Scheme::WPs, 0, 1'000, 64, 1);
+  EXPECT_LT(mesh2d.upper - 2u * mesh2d.lower, direct.upper);
 }
 
 TEST(WorkerTramStats, MergeAccumulates) {

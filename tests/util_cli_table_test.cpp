@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,54 @@ TEST(Cli, FlagExplicitValues) {
   Argv on({"--opt=1"});
   ASSERT_TRUE(cli.parse(on.argc(), on.argv()));
   EXPECT_TRUE(flag);
+}
+
+TEST(Cli, DimsParsesAllForms) {
+  std::array<int, 3> dims{0, 0, 0};
+  Cli cli("test");
+  cli.add_dims("route-dims", &dims, "mesh extents");
+  Argv eq({"--route-dims=8x8"});
+  ASSERT_TRUE(cli.parse(eq.argc(), eq.argv()));
+  EXPECT_EQ(dims, (std::array<int, 3>{8, 8, 0}));
+  Argv sep({"--route-dims", "2x3x4"});
+  ASSERT_TRUE(cli.parse(sep.argc(), sep.argv()));
+  EXPECT_EQ(dims, (std::array<int, 3>{2, 3, 4}));
+  // 'x' is case-insensitive.
+  Argv upper({"--route-dims=4X16"});
+  ASSERT_TRUE(cli.parse(upper.argc(), upper.argv()));
+  EXPECT_EQ(dims, (std::array<int, 3>{4, 16, 0}));
+}
+
+TEST(Cli, DimsRoundTripsThroughHelpRepr) {
+  // The default shown in --help round-trips through the parser (the
+  // all-zero sentinel renders as "auto" and is not itself parseable —
+  // it means "let the mesh auto-factor").
+  std::array<int, 3> dims{2, 3, 4};
+  Cli cli("test");
+  cli.add_dims("route-dims", &dims, "mesh extents");
+  EXPECT_NE(cli.help().find("2x3x4"), std::string::npos);
+  std::array<int, 3> parsed{0, 0, 0};
+  Cli cli2("test2");
+  cli2.add_dims("route-dims", &parsed, "mesh extents");
+  Argv args({"--route-dims=2x3x4"});
+  ASSERT_TRUE(cli2.parse(args.argc(), args.argv()));
+  EXPECT_EQ(parsed, dims);
+
+  std::array<int, 3> autodims{0, 0, 0};
+  Cli cli3("test3");
+  cli3.add_dims("route-dims", &autodims, "mesh extents");
+  EXPECT_NE(cli3.help().find("auto"), std::string::npos);
+}
+
+TEST(Cli, DimsRejectsMalformed) {
+  for (const char* bad :
+       {"8", "8x", "x8", "0x4", "axb", "1x2x3x4", "4x-2", "", "8x8x"}) {
+    std::array<int, 3> dims{0, 0, 0};
+    Cli cli("test");
+    cli.add_dims("route-dims", &dims, "mesh extents");
+    Argv args({std::string("--route-dims=") + bad});
+    EXPECT_FALSE(cli.parse(args.argc(), args.argv())) << "'" << bad << "'";
+  }
 }
 
 TEST(Cli, RejectsUnknownOption) {
