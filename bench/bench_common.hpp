@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +41,9 @@ struct BenchOptions {
   /// When nonempty, also write results as a JSON array to this path
   /// (see JsonReporter; benches with a perf trajectory set a default).
   std::string json;
+  /// Driver hook to register extra options before parsing (e.g.
+  /// fig_routed_histogram's --procs sweep override).
+  std::function<void(util::Cli&)> extra;
 
   /// Parse argv; also honors TRAM_QUICK=1. Returns false on --help/err.
   bool parse(int argc, char** argv, const std::string& what) {
@@ -48,6 +52,7 @@ struct BenchOptions {
     cli.add_int("trials", &trials, "timed trials per configuration");
     cli.add_flag("csv", &csv, "also print CSV rows");
     cli.add_string("json", &json, "write a JSON result array to this path");
+    if (extra) extra(cli);
     if (!cli.parse(argc, argv)) return false;
     if (const char* env = std::getenv("TRAM_QUICK");
         env && env[0] == '1') {
@@ -68,6 +73,8 @@ struct JsonRow {
   std::uint64_t messages = 0;   // fabric-level (aggregated) messages
   std::uint64_t bytes = 0;      // fabric-level bytes
   std::uint64_t forwarded = 0;  // messages re-shipped by intermediates
+  std::uint64_t sorted = 0;     // pre-sorted last-hop (fast path) messages
+  std::uint64_t subviews = 0;   // final-hop segments handed on zero-copy
   std::uint64_t max_buffers = 0;  // live source buffers, worst worker
   bool verified = true;
 };
@@ -94,13 +101,16 @@ class JsonReporter {
                    "%s\n    {\"scheme\": \"%s\", \"topology\": \"%s\", "
                    "\"mesh\": \"%s\", \"ns_per_item\": %.2f, "
                    "\"messages\": %llu, \"bytes\": %llu, "
-                   "\"forwarded\": %llu, \"max_buffers\": %llu, "
+                   "\"forwarded\": %llu, \"sorted\": %llu, "
+                   "\"subviews\": %llu, \"max_buffers\": %llu, "
                    "\"verified\": %s}",
                    i == 0 ? "" : ",", r.scheme.c_str(), r.topology.c_str(),
                    r.mesh.c_str(), r.ns_per_item,
                    static_cast<unsigned long long>(r.messages),
                    static_cast<unsigned long long>(r.bytes),
                    static_cast<unsigned long long>(r.forwarded),
+                   static_cast<unsigned long long>(r.sorted),
+                   static_cast<unsigned long long>(r.subviews),
                    static_cast<unsigned long long>(r.max_buffers),
                    r.verified ? "true" : "false");
     }

@@ -10,14 +10,49 @@
 /// variable. Emits BENCH_routed_histogram.json (override with --json).
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "hist_common.hpp"
 #include "route/virtual_mesh.hpp"
 
 using namespace tram;
 
+namespace {
+
+/// Parse "8,16,64" into proc counts (the CI smoke job runs the small
+/// topologies only). Any malformed token — including trailing garbage
+/// like "8x16" — empties the result; the caller then errors out rather
+/// than silently sweeping a truncated list.
+std::vector<int> parse_proc_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (tok.empty() || end != tok.c_str() + tok.size() || v <= 0 ||
+        v > 1'000'000) {  // also rejects values an int cast would mangle
+      return {};
+    }
+    out.push_back(static_cast<int>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::BenchOptions opt;
+  std::string procs_arg;
+  opt.extra = [&](util::Cli& cli) {
+    cli.add_string("procs", &procs_arg,
+                   "comma-separated virtual process counts to sweep");
+  };
   if (!opt.parse(argc, argv,
                  "fig_routed_histogram: direct vs 2-D vs 3-D mesh routing"))
     return 0;
@@ -27,8 +62,17 @@ int main(int argc, char** argv) {
   // Small buffers keep the message rate meaningful at these scales; the
   // buffer-count contrast is independent of g.
   const std::uint32_t g = 256;
-  const std::vector<int> proc_counts = opt.quick ? std::vector<int>{16, 64}
-                                                 : std::vector<int>{8, 16, 27, 64};
+  std::vector<int> proc_counts = opt.quick ? std::vector<int>{16, 64}
+                                           : std::vector<int>{8, 16, 27, 64};
+  if (!procs_arg.empty()) {
+    if (auto parsed = parse_proc_list(procs_arg); !parsed.empty()) {
+      proc_counts = std::move(parsed);
+    } else {
+      std::fprintf(stderr, "--procs: cannot parse '%s'\n",
+                   procs_arg.c_str());
+      return 1;
+    }
+  }
 
   const std::vector<core::Scheme> schemes = {
       core::Scheme::WPs, core::Scheme::Mesh2D, core::Scheme::Mesh3D};
@@ -36,7 +80,7 @@ int main(int argc, char** argv) {
   util::Table table("Routed histogram: " + std::to_string(updates) +
                     " updates/PE, g=" + std::to_string(g) + ", non-SMP");
   table.set_header({"procs", "scheme", "mesh", "bufs", "items/msg", "msgs",
-                    "fwd msgs", "wall s", "ok"});
+                    "fwd msgs", "sorted", "wall s", "ok"});
 
   bench::JsonReporter json("routed_histogram");
   bench::ShapeChecker shapes;
@@ -77,6 +121,8 @@ int main(int argc, char** argv) {
                static_cast<long long>(point.tram_messages)),
            util::Table::fmt_int(
                static_cast<long long>(point.forwarded_messages)),
+           util::Table::fmt_int(
+               static_cast<long long>(point.sorted_messages)),
            util::Table::fmt(point.seconds, 4),
            point.verified ? "yes" : "NO"});
 
@@ -88,6 +134,8 @@ int main(int argc, char** argv) {
       row.messages = point.fabric_messages;
       row.bytes = point.fabric_bytes;
       row.forwarded = point.forwarded_messages;
+      row.sorted = point.sorted_messages;
+      row.subviews = point.subview_deliveries;
       row.max_buffers = point.max_reserved_buffers;
       row.verified = point.verified;
       json.add(row);
@@ -119,6 +167,10 @@ int main(int argc, char** argv) {
   shapes.expect(direct.forwarded_messages == 0 &&
                     mesh2d.forwarded_messages > 0,
                 "only the routed scheme forwards through intermediates");
+  shapes.expect(mesh2d.sorted_messages > 0 && mesh3d.sorted_messages > 0 &&
+                    direct.sorted_messages == 0,
+                "routed last hops ship pre-sorted (zero-copy scatter fast "
+                "path)");
   shapes.report();
   return 0;
 }

@@ -17,6 +17,11 @@ struct HistoPoint {
   std::uint64_t fabric_bytes = 0;
   /// Messages re-shipped by routing intermediates (0 for direct schemes).
   std::uint64_t forwarded_messages = 0;
+  /// Routed last-hop messages shipped pre-sorted (the zero-copy scatter
+  /// fast path; 0 for direct schemes).
+  std::uint64_t sorted_messages = 0;
+  /// Final-hop segments handed on as refcounted sub-views (0 direct).
+  std::uint64_t subview_deliveries = 0;
   /// Live source-side buffers on the worst worker (O(N) direct,
   /// O(d*N^(1/d)) routed).
   std::uint64_t max_reserved_buffers = 0;
@@ -46,6 +51,8 @@ inline HistoPoint run_histogram(const util::Topology& topo,
     point.fabric_messages = res.run.fabric_messages;
     point.fabric_bytes = res.run.fabric_bytes;
     point.forwarded_messages = res.run.forwarded_messages;
+    point.sorted_messages = res.tram.routed_sorted_msgs;
+    point.subview_deliveries = res.tram.routed_subview_deliveries;
     point.max_reserved_buffers = res.max_reserved_buffers;
     point.mean_occupancy = res.tram.occupancy_at_ship.mean();
     point.verified = point.verified && res.verified;

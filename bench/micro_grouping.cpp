@@ -1,14 +1,20 @@
 /// Microbenchmark of the grouping/sorting step (paper section III-C: the
 /// destination-side grouping of a g-item buffer across t workers costs
 /// O(g + t)). Compares the WPs destination-side bucket pass with the WsP
-/// source-side counting sort across g and t.
+/// source-side counting sort across g and t, and — for the routed last
+/// hop — the old copy-regroup (count pass + per-rank slab + scatter copy)
+/// against the sorted sub-view scatter (source counting sort into one
+/// slab, receiver slices refcounted views).
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstring>
 #include <vector>
 
+#include "core/grouping.hpp"
 #include "core/wire.hpp"
+#include "util/payload_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -67,6 +73,73 @@ void BM_SourceCountingSort(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * g));
 }
 BENCHMARK(BM_SourceCountingSort)
+    ->Args({512, 4})->Args({1024, 4})->Args({4096, 4})
+    ->Args({1024, 8})->Args({1024, 32});
+
+/// Routed last hop, before: the receiving process count-passes the
+/// unsorted batch, acquires a fresh pool slab per destination rank, and
+/// scatter-copies every entry into it.
+void BM_LastHopCopyRegroup(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const auto entries = make_entries(g, t);
+  for (auto _ : state) {
+    std::uint32_t counts[core::kMaxLocalWorkers] = {};
+    for (const Entry& e : entries) counts[e.dest]++;
+    std::array<util::PayloadRef, core::kMaxLocalWorkers> refs;
+    std::array<Entry*, core::kMaxLocalWorkers> cursor{};
+    for (int r = 0; r < t; ++r) {
+      if (counts[r] == 0) continue;
+      refs[static_cast<std::size_t>(r)] =
+          util::PayloadPool::global().acquire(counts[r] * sizeof(Entry));
+      cursor[static_cast<std::size_t>(r)] = reinterpret_cast<Entry*>(
+          refs[static_cast<std::size_t>(r)].data());
+    }
+    for (const Entry& e : entries) {
+      *cursor[static_cast<std::size_t>(e.dest)]++ = e;
+    }
+    benchmark::DoNotOptimize(refs);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * g));
+}
+BENCHMARK(BM_LastHopCopyRegroup)
+    ->Args({512, 4})->Args({1024, 4})->Args({4096, 4})
+    ->Args({1024, 8})->Args({1024, 32});
+
+/// Routed last hop, after: the shipper counting-sorts into one slab
+/// behind a RoutedSortedHeader (core/grouping.hpp — the ship-side cost),
+/// and the receiver walks the segment counts slicing a refcounted
+/// sub-view per rank (the whole receive-side cost: no copy, no per-rank
+/// allocation).
+void BM_LastHopSubviewScatter(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const auto entries = make_entries(g, t);
+  for (auto _ : state) {
+    core::RoutedSortedHeader hdr;
+    hdr.base.magic = core::RoutedHeader::kSortedMagic;
+    util::PayloadRef slab = util::PayloadPool::global().acquire(
+        sizeof hdr + g * sizeof(Entry));
+    core::counting_sort_segments(
+        std::span<const Entry>(entries), t,
+        [](WorkerId w) { return w; }, hdr.segments,
+        reinterpret_cast<Entry*>(slab.data() + sizeof hdr));
+    std::memcpy(slab.data(), &hdr, sizeof hdr);
+    std::array<util::PayloadRef, core::kMaxLocalWorkers> views;
+    std::size_t offset = sizeof hdr;
+    for (int r = 0; r < t; ++r) {
+      const std::size_t bytes = hdr.segments.counts[r] * sizeof(Entry);
+      if (bytes == 0) continue;
+      views[static_cast<std::size_t>(r)] = slab.subref(offset, bytes);
+      offset += bytes;
+    }
+    benchmark::DoNotOptimize(views);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * g));
+}
+BENCHMARK(BM_LastHopSubviewScatter)
     ->Args({512, 4})->Args({1024, 4})->Args({4096, 4})
     ->Args({1024, 8})->Args({1024, 32});
 

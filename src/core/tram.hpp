@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/grouping.hpp"
 #include "core/pp_buffer.hpp"
 #include "core/tram_stats.hpp"
 #include "core/wire.hpp"
@@ -533,31 +534,20 @@ class TramDomain {
       stats_.occupancy_at_ship.add(static_cast<double>(n));
     }
 
-    /// Source-side grouping for WsP: counting sort by destination local
-    /// rank, written straight into the outgoing pool slab after a
-    /// SegmentHeader of per-rank counts.
+    /// Source-side grouping for WsP: the shared counting sort
+    /// (core/grouping.hpp), written straight into the outgoing pool slab
+    /// after a SegmentHeader of per-rank counts.
     util::PayloadRef build_segmented_payload(const EntryBuffer<Entry>& buf) {
       auto& d = *domain_;
-      const int t = d.topo_.workers_per_proc();
       const std::span<const Entry> src = buf.entries();
-      SegmentHeader header;
-      for (const Entry& e : src) {
-        header.counts[d.topo_.local_rank(e.dest)]++;
-      }
-      std::uint32_t offsets[kMaxLocalWorkers];
-      std::uint32_t acc = 0;
-      for (int r = 0; r < t; ++r) {
-        offsets[r] = acc;
-        acc += header.counts[r];
-      }
       util::PayloadRef payload = util::PayloadPool::global().acquire(
           sizeof(SegmentHeader) + src.size() * sizeof(Entry));
+      SegmentHeader header;
+      counting_sort_segments(
+          src, d.topo_.workers_per_proc(),
+          [&](WorkerId w) { return d.topo_.local_rank(w); }, header,
+          reinterpret_cast<Entry*>(payload.data() + sizeof header));
       std::memcpy(payload.data(), &header, sizeof header);
-      Entry* sorted =
-          reinterpret_cast<Entry*>(payload.data() + sizeof header);
-      for (const Entry& e : src) {
-        sorted[offsets[d.topo_.local_rank(e.dest)]++] = e;
-      }
       return payload;
     }
 

@@ -56,6 +56,14 @@ struct WorkerTramStats {
   /// an intermediate. An item whose destination differs from its source in
   /// k mesh dimensions contributes k-1 here (d-1 worst case).
   std::uint64_t routed_forwarded_items = 0;
+  /// Routed schemes: last-hop messages shipped pre-sorted by destination
+  /// local rank (RoutedHeader::kSortedMagic — the WsP-over-mesh fast
+  /// path; subset of routed_hop_msgs).
+  std::uint64_t routed_sorted_msgs = 0;
+  /// Routed schemes: segments delivered or forwarded at the final process
+  /// as refcounted views of a slab (own-rank spans delivered in place plus
+  /// sub-view regroup messages) — zero-copy scatter adoption.
+  std::uint64_t routed_subview_deliveries = 0;
   /// Items per shipped message, observed at ship time.
   util::RunningStats occupancy_at_ship;
   /// Item latency (insert -> delivery), when latency_tracking is on.
@@ -73,6 +81,8 @@ struct WorkerTramStats {
     routed_hop_msgs += o.routed_hop_msgs;
     routed_forward_msgs += o.routed_forward_msgs;
     routed_forwarded_items += o.routed_forwarded_items;
+    routed_sorted_msgs += o.routed_sorted_msgs;
+    routed_subview_deliveries += o.routed_subview_deliveries;
     occupancy_at_ship.merge(o.occupancy_at_ship);
     latency.merge(o.latency);
   }

@@ -27,9 +27,21 @@
 /// traffic per hop. The entries that follow carry the *final* destination
 /// worker in WireEntry::dest — intermediates never rewrite entries, they
 /// only re-bucket them.
+///
+/// A routed message whose every entry terminates at the target process
+/// (the last hop) is shipped *pre-sorted* by destination local rank and
+/// marked RoutedHeader::kSortedMagic: the receiver scatters refcounted
+/// sub-views per rank instead of copying (WsP's design applied to the
+/// routed path). With more than one worker per process the sorted header
+/// carries a SegmentHeader of per-rank counts (RoutedSortedHeader); with
+/// one worker per process the grouping is trivial — a single segment — so
+/// the 8-byte RoutedHeader suffices and the slab still ships in place.
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <span>
 #include <type_traits>
 
@@ -62,6 +74,8 @@ struct SegmentHeader {
 /// aligned in place.
 struct RoutedHeader {
   /// Guards against a routed payload landing on a direct endpoint.
+  /// kSortedMagic additionally marks the payload pre-sorted by
+  /// destination local rank (every entry terminates at this process).
   std::uint32_t magic = kMagic;
   /// Mesh dimension the message was shipped along. Dimension-ordered
   /// routing corrects dimensions lowest-first, so every entry a receiver
@@ -71,9 +85,63 @@ struct RoutedHeader {
   /// 1 + max inbound hop for a ship off an intermediate.
   std::uint16_t hop = 1;
 
-  static constexpr std::uint32_t kMagic = 0x524d5348;  // "RMSH"
+  static constexpr std::uint32_t kMagic = 0x524d5348;        // "RMSH"
+  static constexpr std::uint32_t kSortedMagic = 0x524d5353;  // "RMSS"
 };
 static_assert(sizeof(RoutedHeader) == 8);
+
+/// Prefix of a sorted (last-hop) routed message when the receiving process
+/// has more than one worker: the per-rank counts the scatter walks. Both
+/// header sizes are multiples of alignof(WireEntry) (8), so the entries
+/// decode aligned in place either way.
+struct RoutedSortedHeader {
+  RoutedHeader base;  ///< base.magic == RoutedHeader::kSortedMagic
+  SegmentHeader segments;
+};
+static_assert(sizeof(RoutedSortedHeader) ==
+              sizeof(RoutedHeader) + sizeof(SegmentHeader));
+static_assert(sizeof(RoutedSortedHeader) % 8 == 0);
+
+/// Validated prefix of an inbound routed message.
+struct RoutedWire {
+  RoutedHeader hdr;
+  bool sorted = false;
+  /// Bytes to skip before the WireEntry array: sizeof(RoutedHeader), plus
+  /// the SegmentHeader that sorted messages carry when the process runs
+  /// more than one worker.
+  std::size_t header_bytes = sizeof(RoutedHeader);
+};
+
+/// Parse and validate a routed message prefix. Truncation or an unknown
+/// magic is wire corruption, not a recoverable condition — abort in every
+/// build mode (mirrors rt::decode_payload).
+inline RoutedWire parse_routed_header(std::span<const std::byte> bytes,
+                                      int workers_per_proc) {
+  RoutedWire w;
+  if (bytes.size() < sizeof(RoutedHeader)) {
+    std::fprintf(stderr, "routed message truncated (%zu bytes)\n",
+                 bytes.size());
+    std::abort();
+  }
+  std::memcpy(&w.hdr, bytes.data(), sizeof w.hdr);
+  if (w.hdr.magic == RoutedHeader::kSortedMagic) {
+    w.sorted = true;
+    if (workers_per_proc > 1) {
+      w.header_bytes = sizeof(RoutedSortedHeader);
+      if (bytes.size() < sizeof(RoutedSortedHeader)) {
+        std::fprintf(stderr,
+                     "sorted routed message truncated (%zu bytes, "
+                     "segment header expected)\n",
+                     bytes.size());
+        std::abort();
+      }
+    }
+  } else if (w.hdr.magic != RoutedHeader::kMagic) {
+    std::fprintf(stderr, "routed message with bad magic %x\n", w.hdr.magic);
+    std::abort();
+  }
+  return w;
+}
 
 /// A worker-local aggregation buffer that encodes directly into pool
 /// memory. push() lazily acquires a slab sized for the configured g; the
@@ -135,6 +203,25 @@ class EntryBuffer {
                ref_.capacity() &&
            "EntryBuffer overfilled: ship threshold not enforced");
     data()[count_++] = e;
+  }
+
+  /// Bulk-append a contiguous run of entries (the batched re-bucket path:
+  /// one memcpy replaces n push calls). The caller must have room —
+  /// append at most cap_items - size() — and ships at cap_items exactly
+  /// as with push().
+  void append(const Entry* src, std::uint32_t n, std::uint32_t cap_items) {
+    if (n == 0) return;
+    if (ref_.capacity() == 0) {
+      const std::size_t items = cap_items == 0 ? 1 : cap_items;
+      ref_ = util::PayloadPool::global().acquire(header_bytes_ +
+                                                 items * sizeof(Entry));
+      ever_acquired_ = true;
+    }
+    assert(header_bytes_ + (std::size_t{count_} + n) * sizeof(Entry) <=
+               ref_.capacity() &&
+           "EntryBuffer overfilled: run exceeds remaining capacity");
+    std::memcpy(data() + count_, src, std::size_t{n} * sizeof(Entry));
+    count_ += n;
   }
 
   /// Hand the buffer off as a message payload sized to the actual

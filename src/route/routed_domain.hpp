@@ -9,11 +9,14 @@
 /// layout with one buffer per mesh coordinate per dimension. The message
 /// lifecycle gains an intermediate stage:
 ///
-///   insert -> hop-encode (pick the lowest mismatched dimension's buffer)
-///          -> ship (slab handle moves, RoutedHeader stamped in place)
-///          -> re-aggregate (intermediate re-buckets entries one
-///             dimension up instead of delivering)
-///          -> ship ... -> deliver (final process regroups to workers)
+///   insert -> hop-encode (one load of the Router's precomputed table)
+///          -> ship (slab handle moves, RoutedHeader stamped in place;
+///             a last-hop buffer ships pre-sorted by destination local
+///             rank under RoutedHeader::kSortedMagic)
+///          -> re-aggregate (intermediate counting-sorts the batch once
+///             and bulk-appends whole runs one dimension up)
+///          -> ship ... -> deliver (final process scatters refcounted
+///             sub-views per rank instead of copying)
 ///
 /// Every wire record carries its final destination worker
 /// (WireEntry::dest), so intermediates never rewrite entries — they only
@@ -42,6 +45,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/grouping.hpp"
 #include "core/tram_stats.hpp"
 #include "core/wire.hpp"
 #include "route/router.hpp"
@@ -230,7 +234,7 @@ class RoutedDomain {
       e.birth_ns = d.cfg_.latency_tracking ? util::now_ns() : 0;
       e.dest = dest;
       e.item = item;
-      route_entry(e, /*hop=*/1);
+      push_entry(row_[proc_of(dest)], e, /*hop=*/1);
     }
 
     /// Ship every partially filled buffer ("flush accumulated items").
@@ -256,7 +260,9 @@ class RoutedDomain {
     Handle(RoutedDomain& d, rt::Worker& self)
         : domain_(&d),
           self_(&self),
-          self_proc_(d.topo_.proc_of_worker(self.id())) {
+          self_proc_(d.topo_.proc_of_worker(self.id())),
+          wpp_(d.topo_.workers_per_proc()),
+          row_(d.router_.row(d.topo_.proc_of_worker(self.id()))) {
       bufs_.resize(static_cast<std::size_t>(d.router_.slots()));
       for (auto& b : bufs_) {
         b.set_header_bytes(sizeof(core::RoutedHeader));
@@ -264,131 +270,278 @@ class RoutedDomain {
       slot_hop_.assign(bufs_.size(), 0);
     }
 
-    /// Bucket an entry into the buffer of its next hop; ship on fill.
-    /// `hop` is the ordinal this entry's *next* ship will be (1 off the
-    /// source, inbound hop + 1 off an intermediate).
-    void route_entry(const Entry& e, std::uint16_t hop) {
+    /// workers_per_proc == 1 (non-SMP) is the common bench shape; skip
+    /// the integer division on the per-entry paths.
+    ProcId proc_of(WorkerId w) const noexcept {
+      return wpp_ == 1 ? w : w / wpp_;
+    }
+    LocalWorkerId rank_of(WorkerId w) const noexcept {
+      return wpp_ == 1 ? 0 : w % wpp_;
+    }
+
+    /// Bucket an entry into its route's buffer; ship on fill. `hop` is
+    /// the ordinal this entry's *next* ship will be (1 off the source,
+    /// inbound hop + 1 off an intermediate).
+    void push_entry(const Router::Route& r, const Entry& e,
+                    std::uint16_t hop) {
       auto& d = *domain_;
-      const ProcId dst_proc = d.topo_.proc_of_worker(e.dest);
-      const Router::Hop h = d.router_.next_hop(self_proc_, dst_proc);
-      const int slot = d.router_.slot(h);
-      auto& buf = bufs_[static_cast<std::size_t>(slot)];
+      const auto s = static_cast<std::size_t>(r.slot);
+      auto& buf = bufs_[s];
       if (!buf.ever_acquired()) ++reserved_buffers_;
       buf.push(e, d.cfg_.buffer_items);
-      auto& slot_hop = slot_hop_[static_cast<std::size_t>(slot)];
-      if (hop > slot_hop) slot_hop = hop;
+      if (hop > slot_hop_[s]) slot_hop_[s] = hop;
       pending_.fetch_add(1, std::memory_order_release);
       if (buf.size() >= d.cfg_.buffer_items) {
-        ship_slot(slot, /*from_flush=*/false);
+        ship_slot(r.slot, /*from_flush=*/false);
       }
     }
 
-    /// Stamp the RoutedHeader into the slab and ship it to the slot's
-    /// next-hop process — the slab handle moves, nothing is copied.
+    /// Append a contiguous run into a slot's buffer, shipping every time
+    /// it fills — the batched form of push_entry (one memcpy per chunk
+    /// instead of a push call per entry).
+    void append_run(int slot, const Entry* src, std::uint32_t n,
+                    std::uint16_t hop) {
+      auto& d = *domain_;
+      const std::uint32_t cap =
+          d.cfg_.buffer_items == 0 ? 1 : d.cfg_.buffer_items;
+      const auto s = static_cast<std::size_t>(slot);
+      auto& buf = bufs_[s];
+      if (!buf.ever_acquired()) ++reserved_buffers_;
+      pending_.fetch_add(n, std::memory_order_release);
+      while (n > 0) {
+        const std::uint32_t room = cap - buf.size();
+        const std::uint32_t k = n < room ? n : room;
+        // Re-raise after every ship: ship_slot resets the slot's hop.
+        if (hop > slot_hop_[s]) slot_hop_[s] = hop;
+        buf.append(src, k, cap);
+        src += k;
+        n -= k;
+        if (buf.size() >= cap) ship_slot(slot, /*from_flush=*/false);
+      }
+    }
+
+    /// Ship a slot's buffer to its next-hop process. A final slot (every
+    /// entry terminates at the target process) ships pre-sorted by
+    /// destination local rank: in place when the grouping is trivial
+    /// (one worker per process), otherwise counting-sorted into a fresh
+    /// slab behind a RoutedSortedHeader. Non-final slots ship their slab
+    /// in place behind the plain RoutedHeader — the handle moves, nothing
+    /// is copied.
     void ship_slot(int slot, bool from_flush) {
       auto& d = *domain_;
-      auto& buf = bufs_[static_cast<std::size_t>(slot)];
+      const auto s = static_cast<std::size_t>(slot);
+      auto& buf = bufs_[s];
       const std::size_t n = buf.size();
-      const std::uint16_t hop = slot_hop_[static_cast<std::size_t>(slot)];
+      const std::uint16_t hop = slot_hop_[s];
+      const bool sorted = d.router_.ships_final(slot);
 
       core::RoutedHeader hdr;
+      hdr.magic = sorted ? core::RoutedHeader::kSortedMagic
+                         : core::RoutedHeader::kMagic;
       hdr.dim = static_cast<std::uint16_t>(d.router_.dim_of_slot(slot));
       hdr.hop = hop;
-      std::memcpy(buf.header(), &hdr, sizeof hdr);
 
       rt::Message m;
       m.endpoint = d.ep_routed_;
       m.src_worker = self_->id();
       m.expedited = d.cfg_.expedited;
       m.hops = static_cast<std::uint8_t>(hop - 1);
-      m.payload = buf.take();
+
+      if (sorted && wpp_ > 1) {
+        core::RoutedSortedHeader shdr;
+        shdr.base = hdr;
+        util::PayloadRef payload = util::PayloadPool::global().acquire(
+            sizeof shdr + n * sizeof(Entry));
+        core::counting_sort_segments(
+            buf.entries(), wpp_,
+            [this](WorkerId dw) { return rank_of(dw); }, shdr.segments,
+            reinterpret_cast<Entry*>(payload.data() + sizeof shdr));
+        std::memcpy(payload.data(), &shdr, sizeof shdr);
+        m.payload = std::move(payload);
+        buf.clear();  // keep the slot's slab; the sort copied out of it
+      } else {
+        std::memcpy(buf.header(), &hdr, sizeof hdr);
+        m.payload = buf.take();
+      }
 
       ++stats_.msgs_shipped;
       ++stats_.routed_hop_msgs;
+      if (sorted) ++stats_.routed_sorted_msgs;
       if (hop > 1) ++stats_.routed_forward_msgs;
       if (from_flush) ++stats_.flush_msgs;
       stats_.occupancy_at_ship.add(static_cast<double>(n));
-      slot_hop_[static_cast<std::size_t>(slot)] = 0;
+      slot_hop_[s] = 0;
 
       self_->send_to_proc(d.router_.ship_target(self_proc_, slot),
                           std::move(m));
       pending_.fetch_sub(n, std::memory_order_release);
     }
 
-    /// A routed batch arrived at this process: deliver the entries that
-    /// terminate here (regrouping to their workers), re-bucket the rest
-    /// into the next dimension's buffers.
+    /// A routed batch arrived at this process: a pre-sorted last-hop
+    /// batch scatters as refcounted sub-views; an unsorted hop batch is
+    /// counting-sorted once and its runs delivered / re-bucketed in bulk.
     void on_routed(rt::Worker& w, const rt::Message& msg) {
-      auto& d = *domain_;
       const std::span<const std::byte> bytes = msg.payload.span();
-      if (bytes.size() < sizeof(core::RoutedHeader)) {
-        std::fprintf(stderr, "routed message truncated (%zu bytes)\n",
-                     bytes.size());
-        std::abort();
-      }
-      core::RoutedHeader hdr;
-      std::memcpy(&hdr, bytes.data(), sizeof hdr);
-      if (hdr.magic != core::RoutedHeader::kMagic) {
-        std::fprintf(stderr, "routed message with bad magic %x\n",
-                     hdr.magic);
-        std::abort();
-      }
+      const core::RoutedWire wire = core::parse_routed_header(bytes, wpp_);
       const auto entries =
-          rt::decode_payload<Entry>(bytes.subspan(sizeof hdr));
-      const int t = d.topo_.workers_per_proc();
-      const LocalWorkerId own = d.topo_.local_rank(w.id());
+          rt::decode_payload<Entry>(bytes.subspan(wire.header_bytes));
+      if (wire.sorted) {
+        scatter_sorted(w, msg, entries);
+      } else {
+        rebucket_batch(w, entries, wire.hdr);
+      }
+    }
 
-      // Count pass: finals per local rank (delivered below), the rest
-      // re-bucketed one dimension up.
-      std::uint32_t counts[core::kMaxLocalWorkers] = {};
-      for (const Entry& e : entries) {
-        if (d.topo_.proc_of_worker(e.dest) == self_proc_) {
-          counts[d.topo_.local_rank(e.dest)]++;
+    /// Sorted last-hop delivery: every entry terminates at this process
+    /// and arrives grouped by destination local rank — deliver our own
+    /// segment in place, forward each other rank's as a refcounted
+    /// sub-view of the inbound slab (TramDomain's WsP scatter applied to
+    /// the routed path; the slab recycles when the last segment drops).
+    void scatter_sorted(rt::Worker& w, const rt::Message& msg,
+                        std::span<const Entry> entries) {
+      auto& d = *domain_;
+      if (wpp_ == 1) {
+        // Trivial grouping: the whole payload is our segment.
+        ++stats_.routed_subview_deliveries;
+        deliver_batch(w, entries);
+        return;
+      }
+      core::SegmentHeader seg;
+      std::memcpy(&seg, msg.payload.data() + sizeof(core::RoutedHeader),
+                  sizeof seg);
+      const LocalWorkerId own = rank_of(w.id());
+      std::size_t offset = 0;
+      for (int r = 0; r < wpp_; ++r) {
+        const std::uint32_t count = seg.counts[r];
+        if (count == 0) continue;
+        if (offset + count > entries.size()) {
+          std::fprintf(stderr,
+                       "sorted routed message: segment counts overflow "
+                       "the payload (%zu entries)\n",
+                       entries.size());
+          std::abort();
         }
-      }
-      std::array<util::PayloadRef, core::kMaxLocalWorkers> refs;
-      std::array<Entry*, core::kMaxLocalWorkers> cursor{};
-      for (int r = 0; r < t; ++r) {
-        if (r == own || counts[r] == 0) continue;
-        refs[static_cast<std::size_t>(r)] =
-            util::PayloadPool::global().acquire(counts[r] * sizeof(Entry));
-        cursor[static_cast<std::size_t>(r)] = reinterpret_cast<Entry*>(
-            refs[static_cast<std::size_t>(r)].data());
-      }
-
-      // Scatter pass.
-      for (const Entry& e : entries) {
-        const ProcId dst_proc = d.topo_.proc_of_worker(e.dest);
-        if (dst_proc == self_proc_) {
-          const auto r =
-              static_cast<std::size_t>(d.topo_.local_rank(e.dest));
-          if (static_cast<LocalWorkerId>(r) == own) {
-            deliver_batch(w, std::span<const Entry>(&e, 1));
-          } else {
-            *cursor[r]++ = e;
-          }
+        const auto segment = entries.subspan(offset, count);
+        const std::size_t seg_bytes_off =
+            sizeof(core::RoutedSortedHeader) + offset * sizeof(Entry);
+        offset += count;
+        ++stats_.routed_subview_deliveries;
+        if (r == own) {
+          deliver_batch(w, segment);
           continue;
         }
-        // Dimension-ordered: the hop that carried this entry here matched
-        // its coordinate in hdr.dim, so the next mismatch is strictly
-        // higher — a cycle would mean wire corruption.
-        assert(d.router_.next_hop(self_proc_, dst_proc).dim >
-                   static_cast<int>(hdr.dim) &&
-               "routed entry does not advance dimension order");
-        ++stats_.routed_forwarded_items;
-        route_entry(e, static_cast<std::uint16_t>(hdr.hop + 1));
-      }
-
-      for (int r = 0; r < t; ++r) {
-        if (r == own || counts[r] == 0) continue;
         rt::Message m;
         m.endpoint = d.ep_final_;
         m.dst_worker = d.topo_.worker_at(self_proc_, r);
         m.src_worker = w.id();
         m.expedited = d.cfg_.expedited;
-        m.payload = std::move(refs[static_cast<std::size_t>(r)]);
+        m.payload = msg.payload.subref(seg_bytes_off,
+                                       count * sizeof(Entry));
         ++stats_.regroup_msgs;
         w.send(std::move(m));
+      }
+      // Counts summing short of the payload would silently drop the tail
+      // — the mirror image of the overflow aborted above, and the same
+      // wire-corruption class.
+      if (offset != entries.size()) {
+        std::fprintf(stderr,
+                     "sorted routed message: segment counts cover %zu of "
+                     "%zu entries\n",
+                     offset, entries.size());
+        std::abort();
+      }
+    }
+
+    /// Unsorted hop batch: one counting sort by (final local rank |
+    /// next-hop slot) into a pooled scratch slab, then whole runs move
+    /// at once — our own finals in a single deliver_batch call, other
+    /// ranks' as sub-views of the scratch slab, and every forward run
+    /// bulk-appended into its slot's buffer.
+    void rebucket_batch(rt::Worker& w, std::span<const Entry> entries,
+                        const core::RoutedHeader& hdr) {
+      auto& d = *domain_;
+      const LocalWorkerId own = rank_of(w.id());
+      const std::size_t n = entries.size();
+      const std::size_t nbuckets =
+          static_cast<std::size_t>(wpp_) + bufs_.size();
+
+      // Pass 1: bucket every entry — finals to their local rank,
+      // forwards to wpp_ + next-hop slot (one table load each).
+      bucket_counts_.assign(nbuckets, 0);
+      bucket_cursor_.resize(n);  // reused as the per-entry bucket index
+      for (std::size_t i = 0; i < n; ++i) {
+        const Entry& e = entries[i];
+        const ProcId dst_proc = proc_of(e.dest);
+        std::uint32_t b;
+        if (dst_proc == self_proc_) {
+          b = static_cast<std::uint32_t>(rank_of(e.dest));
+        } else {
+          const Router::Route& r = row_[dst_proc];
+          // Dimension-ordered: the hop that carried this entry here
+          // matched its coordinate in hdr.dim, so the next mismatch is
+          // strictly higher — a cycle would mean wire corruption.
+          assert(r.dim > static_cast<std::int16_t>(hdr.dim) &&
+                 "routed entry does not advance dimension order");
+          b = static_cast<std::uint32_t>(wpp_) +
+              static_cast<std::uint32_t>(r.slot);
+        }
+        bucket_cursor_[i] = b;
+        bucket_counts_[b]++;
+      }
+
+      // Pass 2: scatter into the scratch slab, one contiguous run per
+      // bucket. bucket_starts_ walks forward during the scatter; a run's
+      // start is recovered afterwards as cursor - count.
+      bucket_starts_.resize(nbuckets);
+      std::uint32_t acc = 0;
+      for (std::size_t b = 0; b < nbuckets; ++b) {
+        bucket_starts_[b] = acc;
+        acc += bucket_counts_[b];
+      }
+      util::PayloadRef scratch =
+          util::PayloadPool::global().acquire(n * sizeof(Entry));
+      Entry* sorted = reinterpret_cast<Entry*>(scratch.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        sorted[bucket_starts_[bucket_cursor_[i]]++] = entries[i];
+      }
+
+      // Finals: one batched delivery for our own rank, sub-views of the
+      // scratch slab for the rest.
+      for (int r = 0; r < wpp_; ++r) {
+        const std::uint32_t count =
+            bucket_counts_[static_cast<std::size_t>(r)];
+        if (count == 0) continue;
+        const std::uint32_t start =
+            bucket_starts_[static_cast<std::size_t>(r)] - count;
+        const auto segment = std::span<const Entry>(sorted + start, count);
+        // Count every segment handed off as a slab view (mirrors
+        // scatter_sorted, so the SMP metric is path-independent).
+        ++stats_.routed_subview_deliveries;
+        if (r == own) {
+          deliver_batch(w, segment);
+          continue;
+        }
+        rt::Message m;
+        m.endpoint = d.ep_final_;
+        m.dst_worker = d.topo_.worker_at(self_proc_, r);
+        m.src_worker = w.id();
+        m.expedited = d.cfg_.expedited;
+        m.payload = scratch.subref(start * sizeof(Entry),
+                                   count * sizeof(Entry));
+        ++stats_.regroup_msgs;
+        w.send(std::move(m));
+      }
+
+      // Forwards: bulk-append whole runs one dimension up.
+      const auto next_ord = static_cast<std::uint16_t>(hdr.hop + 1);
+      for (std::size_t b = static_cast<std::size_t>(wpp_); b < nbuckets;
+           ++b) {
+        const std::uint32_t count = bucket_counts_[b];
+        if (count == 0) continue;
+        const std::uint32_t start = bucket_starts_[b] - count;
+        stats_.routed_forwarded_items += count;
+        append_run(static_cast<int>(b) - wpp_, sorted + start, count,
+                   next_ord);
       }
     }
 
@@ -415,10 +568,20 @@ class RoutedDomain {
     RoutedDomain* domain_;
     rt::Worker* self_;
     ProcId self_proc_;
+    int wpp_;  ///< workers per process, cached off the hot paths
+    /// This process's row of the Router's precomputed table: the
+    /// per-entry routing decision is row_[dst_proc], one indexed load.
+    const Router::Route* row_;
     std::vector<core::EntryBuffer<Entry>> bufs_;
     /// Per-slot pending hop ordinal: max over the entries currently in the
     /// slot's buffer of the hop their next ship will be.
     std::vector<std::uint16_t> slot_hop_;
+    /// rebucket_batch scratch, reused across inbound batches (safe:
+    /// handlers never nest — both transports enqueue rather than call
+    /// through, so a ship inside a handler cannot re-enter it).
+    std::vector<std::uint32_t> bucket_counts_;
+    std::vector<std::uint32_t> bucket_starts_;
+    std::vector<std::uint32_t> bucket_cursor_;
     std::atomic<std::uint64_t> pending_{0};
     core::WorkerTramStats stats_;
     std::uint64_t reserved_buffers_ = 0;

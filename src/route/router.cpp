@@ -8,6 +8,37 @@ Router::Router(VirtualMesh mesh) : mesh_(mesh) {
     offsets_[static_cast<std::size_t>(k)] = offset;
     offset += mesh_.dim_size(k);
   }
+
+  // Flatten next_hop + slot into the per-(source, destination) table the
+  // hot paths index (next_hop remains the reference; route_test checks
+  // the two agree on every pair).
+  const auto n = static_cast<std::size_t>(mesh_.procs());
+  table_.resize(n * n);
+  for (ProcId here = 0; here < mesh_.procs(); ++here) {
+    for (ProcId dst = 0; dst < mesh_.procs(); ++dst) {
+      const Hop h = next_hop(here, dst);
+      Route& r = table_[static_cast<std::size_t>(here) * n +
+                        static_cast<std::size_t>(dst)];
+      r.slot = slot(h);
+      r.dim = static_cast<std::int16_t>(h.local ? mesh_.ndims() : h.dim);
+      r.proc = h.proc;
+    }
+  }
+
+  // A slot ships final (sorted-eligible) when no hop can follow it: the
+  // local slot, and any dimension above which every extent is 1.
+  final_slot_.assign(static_cast<std::size_t>(slots()), 0);
+  for (int s = 0; s < slots(); ++s) {
+    if (s == local_slot()) {
+      final_slot_[static_cast<std::size_t>(s)] = 1;
+      continue;
+    }
+    bool fin = true;
+    for (int k = dim_of_slot(s) + 1; k < mesh_.ndims(); ++k) {
+      if (mesh_.dim_size(k) > 1) fin = false;
+    }
+    final_slot_[static_cast<std::size_t>(s)] = fin ? 1 : 0;
+  }
 }
 
 }  // namespace tram::route

@@ -21,8 +21,18 @@
 /// "local" slot aggregates same-process destinations so they ride the
 /// same batched delivery path. Live slots are therefore
 /// sum(dims_k - 1) + 1 = O(d * N^(1/d)).
+///
+/// The constructor flattens the whole decision into a procs x procs table
+/// of Route records, so the per-entry cost on the hot insert/re-bucket
+/// paths is one indexed load instead of a dimension walk of divisions
+/// (next_hop stays as the loop-based reference the table is checked
+/// against). The table is quadratic in the process count — fine at the
+/// simulated scales this runtime targets, and each worker handle only
+/// touches its own row.
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "route/virtual_mesh.hpp"
 #include "util/types.hpp"
@@ -40,10 +50,46 @@ class Router {
     ProcId proc = 0; ///< next-hop process
   };
 
+  /// One precomputed routing decision (what next_hop + slot compute,
+  /// flattened): the aggregation slot at the looked-up source, the
+  /// dimension this hop corrects (mesh().ndims() when the destination is
+  /// the process itself), and the next-hop process.
+  struct Route {
+    std::int32_t slot = 0;
+    std::int16_t dim = 0;
+    ProcId proc = 0;
+  };
+
   Router() = default;
   explicit Router(VirtualMesh mesh);
 
   const VirtualMesh& mesh() const noexcept { return mesh_; }
+
+  /// Table-driven routing decision for an entry at `here` destined to
+  /// process `dst`: one indexed load.
+  const Route& route(ProcId here, ProcId dst) const noexcept {
+    return table_[static_cast<std::size_t>(here) *
+                      static_cast<std::size_t>(mesh_.procs()) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  /// One source process's row of the table, indexed by destination
+  /// process — a handle caches its own row so the per-entry decision is
+  /// row[dst_proc].
+  const Route* row(ProcId here) const noexcept {
+    return table_.data() + static_cast<std::size_t>(here) *
+                               static_cast<std::size_t>(mesh_.procs());
+  }
+
+  /// True when every entry aggregated into `slot` terminates at the
+  /// slot's ship target: the local slot always, and any dimension whose
+  /// higher dimensions all have extent 1 (dimension order guarantees the
+  /// lower ones already match). The shipper of such a slot pre-sorts the
+  /// batch by destination local rank (RoutedHeader::kSortedMagic) so the
+  /// receiver scatters sub-views instead of copying.
+  bool ships_final(int slot) const noexcept {
+    return final_slot_[static_cast<std::size_t>(slot)] != 0;
+  }
 
   /// The next hop for an entry at `here` destined to process `dst`,
   /// honoring dimension order: the lowest mismatched dimension is
@@ -98,6 +144,10 @@ class Router {
  private:
   VirtualMesh mesh_;
   std::array<int, VirtualMesh::kMaxDims> offsets_{0, 0, 0};
+  /// Flat procs x procs routing table, row-major by source process.
+  std::vector<Route> table_;
+  /// Per-slot: every entry in the slot terminates at the ship target.
+  std::vector<std::uint8_t> final_slot_;
 };
 
 }  // namespace tram::route

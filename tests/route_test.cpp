@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/tram.hpp"
@@ -78,6 +80,93 @@ TEST(Router, DimensionOrderedChainsTerminate) {
       EXPECT_EQ(hops, mesh.hops(src, dst));
     }
   }
+}
+
+/// The precomputed table must agree with the loop-based next_hop on every
+/// (src, dst) pair, for several mesh shapes — including degenerate
+/// (prime, extent-1) ones. ships_final must imply the hop terminates.
+TEST(Router, TableMatchesNextHopLoop) {
+  struct Shape {
+    int procs;
+    std::vector<int> dims;
+  };
+  const std::vector<Shape> shapes = {
+      {24, {2, 3, 4}}, {64, {8, 8}},  {64, {4, 4, 4}},
+      {27, {3, 3, 3}}, {12, {3, 4}},  {7, {1, 7}},
+      {8, {8, 1}},     {6, {1, 2, 3}}};
+  for (const auto& shape : shapes) {
+    const VirtualMesh mesh(shape.procs, shape.dims);
+    const Router router(mesh);
+    for (ProcId here = 0; here < shape.procs; ++here) {
+      EXPECT_EQ(router.row(here), &router.route(here, 0));
+      for (ProcId dst = 0; dst < shape.procs; ++dst) {
+        const Router::Hop h = router.next_hop(here, dst);
+        const Router::Route& r = router.route(here, dst);
+        EXPECT_EQ(r.slot, router.slot(h)) << mesh.to_string();
+        EXPECT_EQ(r.proc, h.proc) << mesh.to_string();
+        EXPECT_EQ(static_cast<int>(r.dim),
+                  h.local ? mesh.ndims() : h.dim)
+            << mesh.to_string();
+        // A final slot's ship terminates: no further hop from the
+        // target to the destination.
+        if (router.ships_final(r.slot)) {
+          EXPECT_EQ(mesh.hops(r.proc, dst), 0)
+              << mesh.to_string() << " " << here << "->" << dst;
+        }
+      }
+    }
+    // The local slot and every highest-nontrivial-dimension slot ship
+    // final; lower dimensions with a nontrivial dimension above do not.
+    EXPECT_TRUE(router.ships_final(router.local_slot()));
+    int highest_nontrivial = -1;
+    for (int k = 0; k < mesh.ndims(); ++k) {
+      if (mesh.dim_size(k) > 1) highest_nontrivial = k;
+    }
+    for (int s = 0; s < router.local_slot(); ++s) {
+      EXPECT_EQ(router.ships_final(s),
+                router.dim_of_slot(s) >= highest_nontrivial)
+          << mesh.to_string() << " slot " << s;
+    }
+  }
+}
+
+/// Wire-level validation of the sorted last-hop variant: truncated or
+/// bad-magic prefixes are wire corruption and must abort cleanly.
+TEST(RoutedWireDeathTest, TruncatedOrCorruptHeaderAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::array<std::byte, sizeof(core::RoutedSortedHeader)> buf{};
+  core::RoutedHeader hdr;
+
+  // Shorter than the fixed 8-byte prefix.
+  EXPECT_DEATH(core::parse_routed_header(
+                   std::span<const std::byte>(buf.data(), 4), 1),
+               "truncated");
+
+  // Unknown magic.
+  hdr.magic = 0xdeadbeef;
+  std::memcpy(buf.data(), &hdr, sizeof hdr);
+  EXPECT_DEATH(core::parse_routed_header(
+                   std::span<const std::byte>(buf.data(), sizeof hdr), 1),
+               "bad magic");
+
+  // Sorted message into a multi-worker process without its SegmentHeader.
+  hdr.magic = core::RoutedHeader::kSortedMagic;
+  std::memcpy(buf.data(), &hdr, sizeof hdr);
+  EXPECT_DEATH(core::parse_routed_header(
+                   std::span<const std::byte>(buf.data(), sizeof hdr), 4),
+               "truncated");
+
+  // The same prefix is a complete, valid message for one worker per
+  // process (trivial grouping needs no counts)...
+  const core::RoutedWire w1 = core::parse_routed_header(
+      std::span<const std::byte>(buf.data(), sizeof hdr), 1);
+  EXPECT_TRUE(w1.sorted);
+  EXPECT_EQ(w1.header_bytes, sizeof(core::RoutedHeader));
+  // ...and with the counts present, valid for a multi-worker process.
+  const core::RoutedWire w4 = core::parse_routed_header(
+      std::span<const std::byte>(buf.data(), buf.size()), 4);
+  EXPECT_TRUE(w4.sorted);
+  EXPECT_EQ(w4.header_bytes, sizeof(core::RoutedSortedHeader));
 }
 
 TEST(Router, SlotLayoutRoundTrips) {
@@ -178,6 +267,11 @@ ExchangeResult run_exchange(core::Scheme scheme, const util::Topology& topo,
   }
   EXPECT_EQ(res.stats.items_inserted, expected_per_worker * W);
   EXPECT_EQ(res.stats.items_delivered, expected_per_worker * W);
+  // The last hop always ships pre-sorted (the local slot at minimum), and
+  // every sorted batch is consumed as zero-copy sub-views.
+  EXPECT_GT(res.stats.routed_sorted_msgs, 0u);
+  EXPECT_GT(res.stats.routed_subview_deliveries, 0u);
+  EXPECT_LE(res.stats.routed_sorted_msgs, res.stats.routed_hop_msgs);
   return res;
 }
 
