@@ -62,6 +62,45 @@ struct BenchOptions {
   }
 };
 
+/// Parse "8,16,64" into proc counts (the CI smoke jobs run the small
+/// topologies only). Any malformed token — including trailing garbage
+/// like "8x16" — empties the result; the caller then errors out rather
+/// than silently sweeping a truncated list.
+inline std::vector<int> parse_proc_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (tok.empty() || end != tok.c_str() + tok.size() || v <= 0 ||
+        v > 1'000'000) {  // also rejects values an int cast would mangle
+      return {};
+    }
+    out.push_back(static_cast<int>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Resolve a bench's proc-count sweep against its --procs override: an
+/// empty argument keeps the defaults, a parseable list replaces them,
+/// and malformed input reports and returns false (the caller exits
+/// nonzero rather than sweeping a truncated list).
+inline bool resolve_proc_counts(const std::string& arg,
+                                std::vector<int>& counts) {
+  if (arg.empty()) return true;
+  if (auto parsed = parse_proc_list(arg); !parsed.empty()) {
+    counts = std::move(parsed);
+    return true;
+  }
+  std::fprintf(stderr, "--procs: cannot parse '%s'\n", arg.c_str());
+  return false;
+}
+
 /// One configuration's result in a bench sweep, as serialized by
 /// JsonReporter — the machine-readable perf trajectory next to the
 /// human-readable table.

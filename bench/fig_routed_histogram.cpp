@@ -18,34 +18,6 @@
 
 using namespace tram;
 
-namespace {
-
-/// Parse "8,16,64" into proc counts (the CI smoke job runs the small
-/// topologies only). Any malformed token — including trailing garbage
-/// like "8x16" — empties the result; the caller then errors out rather
-/// than silently sweeping a truncated list.
-std::vector<int> parse_proc_list(const std::string& s) {
-  std::vector<int> out;
-  std::size_t pos = 0;
-  while (pos < s.size()) {
-    const std::size_t comma = s.find(',', pos);
-    const std::string tok =
-        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    char* end = nullptr;
-    const long v = std::strtol(tok.c_str(), &end, 10);
-    if (tok.empty() || end != tok.c_str() + tok.size() || v <= 0 ||
-        v > 1'000'000) {  // also rejects values an int cast would mangle
-      return {};
-    }
-    out.push_back(static_cast<int>(v));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   bench::BenchOptions opt;
   std::string procs_arg;
@@ -64,15 +36,7 @@ int main(int argc, char** argv) {
   const std::uint32_t g = 256;
   std::vector<int> proc_counts = opt.quick ? std::vector<int>{16, 64}
                                            : std::vector<int>{8, 16, 27, 64};
-  if (!procs_arg.empty()) {
-    if (auto parsed = parse_proc_list(procs_arg); !parsed.empty()) {
-      proc_counts = std::move(parsed);
-    } else {
-      std::fprintf(stderr, "--procs: cannot parse '%s'\n",
-                   procs_arg.c_str());
-      return 1;
-    }
-  }
+  if (!bench::resolve_proc_counts(procs_arg, proc_counts)) return 1;
 
   const std::vector<core::Scheme> schemes = {
       core::Scheme::WPs, core::Scheme::Mesh2D, core::Scheme::Mesh3D};

@@ -1,0 +1,194 @@
+/// Routed-vs-direct PHOLD: the second irregular app on the mesh. Sweeps
+/// the virtual process count and compares direct WPs against 2-D and 3-D
+/// mesh routing on the same synthetic event workload.
+///
+/// Verification is the point, not the timing: every event chain draws its
+/// successors from the event's own RNG stream (see apps/phold.hpp), so
+/// the machine-wide event count is a pure function of the seed — a routed
+/// row is verified only when delivery was exactly-once (tram inserted ==
+/// delivered under quiescence) AND its event count matches the
+/// direct-scheme run bit-for-bit. CI's bench-smoke job fails on any
+/// `"verified": false` row.
+///
+/// Runs non-SMP (one worker per process) so the process count is the only
+/// variable. Emits BENCH_routed_phold.json (override with --json).
+
+#include <cstdio>
+#include <string>
+
+#include "apps/phold.hpp"
+#include "bench_common.hpp"
+#include "route/virtual_mesh.hpp"
+#include "runtime/machine.hpp"
+
+using namespace tram;
+
+namespace {
+
+struct PholdPoint {
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  double ooo_pct = 0.0;
+  std::uint64_t tram_messages = 0;
+  std::uint64_t forwarded_messages = 0;
+  std::uint64_t sorted_messages = 0;
+  std::uint64_t subview_deliveries = 0;
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_bytes = 0;
+  std::uint64_t max_reserved_buffers = 0;
+  std::uint64_t items = 0;
+  bool exactly_once = true;
+};
+
+PholdPoint run_phold(const util::Topology& topo,
+                     const core::TramConfig& tram_cfg, double end_time,
+                     int trials) {
+  rt::Machine machine(topo, bench::bench_runtime_nonsmp());
+  apps::PholdParams params;
+  params.lps_per_worker = 32;
+  params.init_events_per_lp = 1;
+  params.lookahead = 1.0;
+  params.remote_prob = 0.5;
+  params.end_time = end_time;
+  params.tram = tram_cfg;
+  apps::PholdApp app(machine, params);
+
+  PholdPoint point;
+  util::RunningStats pct_stats;
+  point.seconds = bench::median_seconds(trials, [&] {
+    const auto res = app.run();
+    pct_stats.add(res.ooo_pct);
+    point.events = res.events_processed;
+    point.tram_messages = res.tram.msgs_shipped;
+    point.forwarded_messages = res.run.forwarded_messages;
+    point.sorted_messages = res.tram.routed_sorted_msgs;
+    point.subview_deliveries = res.tram.routed_subview_deliveries;
+    point.fabric_messages = res.run.fabric_messages;
+    point.fabric_bytes = res.run.fabric_bytes;
+    point.max_reserved_buffers = res.max_reserved_buffers;
+    point.items = res.tram.items_delivered;
+    point.exactly_once = point.exactly_once &&
+                         res.tram.items_inserted == res.tram.items_delivered;
+    return res.run.wall_s;
+  });
+  point.ooo_pct = pct_stats.mean();
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt;
+  std::string procs_arg;
+  opt.extra = [&](util::Cli& cli) {
+    cli.add_string("procs", &procs_arg,
+                   "comma-separated virtual process counts to sweep");
+  };
+  if (!opt.parse(argc, argv,
+                 "fig_routed_phold: direct vs 2-D vs 3-D mesh routing"))
+    return 0;
+  if (opt.json.empty()) opt.json = "BENCH_routed_phold.json";
+
+  const double end_time = opt.quick ? 80.0 : 150.0;
+  std::vector<int> proc_counts = opt.quick ? std::vector<int>{8, 16}
+                                           : std::vector<int>{8, 16, 64};
+  if (!bench::resolve_proc_counts(procs_arg, proc_counts)) return 1;
+
+  const std::vector<core::Scheme> schemes = {
+      core::Scheme::WPs, core::Scheme::Mesh2D, core::Scheme::Mesh3D};
+
+  util::Table table("Routed PHOLD: 32 LPs/PE, end_time=" +
+                    util::Table::fmt(end_time, 0) + ", non-SMP");
+  table.set_header({"procs", "scheme", "mesh", "events", "ooo %", "bufs",
+                    "msgs", "fwd msgs", "wall s", "ok"});
+
+  bench::JsonReporter json("routed_phold");
+  bench::ShapeChecker shapes;
+
+  struct Cell {
+    PholdPoint point;
+    bool verified = false;
+  };
+  std::vector<std::vector<Cell>> cells(proc_counts.size());
+
+  for (std::size_t pi = 0; pi < proc_counts.size(); ++pi) {
+    const int procs = proc_counts[pi];
+    const util::Topology topo(procs, 1, 1);
+    // The direct scheme's event count anchors the bit-for-bit
+    // cross-check for the routed rows at this scale.
+    std::uint64_t direct_events = 0;
+    for (const auto scheme : schemes) {
+      core::TramConfig tram;
+      tram.scheme = scheme;
+      tram.buffer_items = 256;
+      std::string mesh = "-";
+      if (core::is_routed(scheme)) {
+        mesh = route::VirtualMesh::auto_factor(procs,
+                                               core::mesh_ndims(scheme))
+                   .to_string();
+      }
+      const auto point =
+          run_phold(topo, tram, end_time, static_cast<int>(opt.trials));
+      if (scheme == core::Scheme::WPs) direct_events = point.events;
+
+      const bool verified =
+          point.exactly_once && point.events == direct_events &&
+          point.events > 0;
+      cells[pi].push_back({point, verified});
+
+      table.add_row(
+          {util::Table::fmt_int(procs), core::to_string(scheme), mesh,
+           util::Table::fmt_int(static_cast<long long>(point.events)),
+           util::Table::fmt(point.ooo_pct, 2),
+           util::Table::fmt_int(
+               static_cast<long long>(point.max_reserved_buffers)),
+           util::Table::fmt_int(
+               static_cast<long long>(point.tram_messages)),
+           util::Table::fmt_int(
+               static_cast<long long>(point.forwarded_messages)),
+           util::Table::fmt(point.seconds, 4), verified ? "yes" : "NO"});
+
+      bench::JsonRow row;
+      row.scheme = core::to_string(scheme);
+      row.topology = topo.to_string();
+      row.mesh = mesh;
+      row.ns_per_item =
+          point.items ? point.seconds * 1e9 /
+                            static_cast<double>(point.items)
+                      : 0.0;
+      row.messages = point.fabric_messages;
+      row.bytes = point.fabric_bytes;
+      row.forwarded = point.forwarded_messages;
+      row.sorted = point.sorted_messages;
+      row.subviews = point.subview_deliveries;
+      row.max_buffers = point.max_reserved_buffers;
+      row.verified = verified;
+      json.add(row);
+    }
+  }
+  bench::emit(table, opt);
+  json.write(opt.json);
+
+  // Shape expectations (indices follow `schemes`: 0=WPs, 1=2D, 2=3D).
+  bool all_verified = true;
+  for (const auto& per_proc : cells) {
+    for (const auto& c : per_proc) all_verified = all_verified && c.verified;
+  }
+  shapes.expect(all_verified,
+                "every configuration verified: exactly-once and event "
+                "counts bit-for-bit equal to direct");
+
+  const std::size_t last = proc_counts.size() - 1;  // largest proc count
+  const auto& direct = cells[last][0].point;
+  const auto& mesh2d = cells[last][1].point;
+  const auto& mesh3d = cells[last][2].point;
+  shapes.expect(mesh2d.max_reserved_buffers < direct.max_reserved_buffers,
+                "2-D mesh holds fewer live source buffers than direct WPs "
+                "at the largest scale");
+  shapes.expect(direct.forwarded_messages == 0 &&
+                    mesh2d.forwarded_messages > 0 &&
+                    mesh3d.forwarded_messages > 0,
+                "only the routed schemes forward through intermediates");
+  shapes.report();
+  return 0;
+}

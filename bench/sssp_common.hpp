@@ -1,5 +1,6 @@
 #pragma once
-/// Shared runner for the SSSP figure benches (Figs 14-17).
+/// Shared runner for the SSSP figure benches (Figs 14-17 and the routed
+/// sweep).
 
 #include "apps/sssp.hpp"
 #include "bench_common.hpp"
@@ -15,15 +16,36 @@ struct SsspPoint {
   std::uint64_t tram_messages = 0;
   double mean_occupancy = 0.0;
   bool verified = true;
+  /// Items delivered through the tram domain (== inserted when delivery
+  /// was exactly-once; exactly_once asserts that).
+  std::uint64_t items = 0;
+  bool exactly_once = true;
+  /// Routed-scheme counters (0 for direct schemes).
+  std::uint64_t forwarded_messages = 0;
+  std::uint64_t sorted_messages = 0;
+  std::uint64_t subview_deliveries = 0;
+  std::uint64_t priority_messages = 0;
+  std::uint64_t max_reserved_buffers = 0;
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_bytes = 0;
+  /// FNV-1a over every vertex's final distance: two runs converged to
+  /// bit-for-bit identical distances iff the hashes match (the routed
+  /// benches cross-check this against the direct-scheme run).
+  std::uint64_t dist_hash = 1469598103934665603ULL;  // FNV offset basis
 };
 
+/// Build a fresh machine + app for the configuration and return the median
+/// over `trials` timed runs.
 inline SsspPoint run_sssp(const graph::Csr& g, const util::Topology& topo,
-                          const core::TramConfig& tram_cfg, int trials) {
-  rt::Machine machine(topo, bench_runtime());
+                          const core::TramConfig& tram_cfg, int trials,
+                          const rt::RuntimeConfig& rt_cfg = bench_runtime(),
+                          bool prioritize_urgent = false) {
+  rt::Machine machine(topo, rt_cfg);
   apps::SsspParams params;
   params.graph = &g;
   params.tram = tram_cfg;
   params.delta = 8;
+  params.prioritize_urgent = prioritize_urgent;
   apps::SsspApp app(machine, params);
 
   SsspPoint point;
@@ -35,9 +57,23 @@ inline SsspPoint run_sssp(const graph::Csr& g, const util::Topology& topo,
     point.tram_messages = res.tram.msgs_shipped;
     point.mean_occupancy = res.tram.occupancy_at_ship.mean();
     point.verified = point.verified && res.verified;
+    point.items = res.tram.items_delivered;
+    point.exactly_once = point.exactly_once &&
+                         res.tram.items_inserted == res.tram.items_delivered;
+    point.forwarded_messages = res.run.forwarded_messages;
+    point.sorted_messages = res.tram.routed_sorted_msgs;
+    point.subview_deliveries = res.tram.routed_subview_deliveries;
+    point.priority_messages = res.tram.priority_msgs;
+    point.max_reserved_buffers = res.max_reserved_buffers;
+    point.fabric_messages = res.run.fabric_messages;
+    point.fabric_bytes = res.run.fabric_bytes;
     return res.run.wall_s;
   });
   point.wasted_pct = pct_stats.mean();
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    point.dist_hash ^= app.distance(v);
+    point.dist_hash *= 1099511628211ULL;  // FNV-1a fold per vertex
+  }
   return point;
 }
 

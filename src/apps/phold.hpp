@@ -13,12 +13,27 @@
 /// optimistic engine. Message latency directly controls how often remote
 /// events arrive late, so lower-latency aggregation schemes show fewer
 /// wasted updates (PP wins by >5% in the paper).
+///
+/// Every event carries its own RNG stream: the successor's delay and
+/// destination are drawn from the event itself, not the processing
+/// worker, so the chain structure — and with it the machine-wide event
+/// count — is a pure function of the run seed. Delivery interleaving
+/// cannot perturb it, which lets the routed benches cross-check event
+/// counts bit-for-bit against a direct-scheme run (only the out-of-order
+/// rate, the latency-sensitive metric, varies with the scheme).
+///
+/// Scheme::Mesh2D/Mesh3D configurations run the same workload through
+/// route::RoutedDomain instead of TramDomain (HistogramApp's routed/
+/// direct split): identical delivery contract, multi-hop message path
+/// (bench/fig_routed_phold.cpp sweeps the two side by side).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/tram.hpp"
 #include "graph/csr.hpp"
+#include "route/routed_domain.hpp"
 #include "runtime/machine.hpp"
 #include "util/spinlock.hpp"
 
@@ -44,6 +59,9 @@ struct PholdResult {
   /// Events that arrived with a timestamp below the LP's clock.
   std::uint64_t ooo_events = 0;
   double ooo_pct = 0.0;
+  /// Largest count of live source-side buffers on any one worker — O(N)
+  /// for the direct schemes, O(d * N^(1/d)) for the routed ones.
+  std::uint64_t max_reserved_buffers = 0;
 };
 
 class PholdApp {
@@ -55,6 +73,9 @@ class PholdApp {
   struct Event {
     double ts;
     std::uint32_t lp;  // global LP id
+    /// Seed of the RNG stream the successor's delay/destination are drawn
+    /// from (see file comment: chain structure is delivery-order free).
+    std::uint64_t stream;
   };
 
   struct WorkerState {
@@ -64,11 +85,14 @@ class PholdApp {
   };
 
   void handle_event(rt::Worker& w, const Event& ev);
+  void send_event(rt::Worker& w, WorkerId dest, const Event& ev);
 
   rt::Machine& machine_;
   PholdParams params_;
   graph::BlockPartition part_;  // LPs over workers
-  core::TramDomain<Event> domain_;
+  /// Exactly one of the two is constructed, per params.tram.scheme.
+  std::unique_ptr<core::TramDomain<Event>> direct_;
+  std::unique_ptr<route::RoutedDomain<Event>> routed_;
   std::vector<util::Padded<WorkerState>> state_;
 };
 

@@ -16,14 +16,23 @@
 /// aggregation buffer, the more speculative work peers perform against its
 /// stale predecessor — so lower-latency schemes show fewer wasted updates
 /// (PP < WPs < WW in the paper).
+///
+/// Scheme::Mesh2D/Mesh3D configurations run the same workload through
+/// route::RoutedDomain instead of TramDomain (HistogramApp's routed/direct
+/// split): identical delivery contract and threshold machinery, multi-hop
+/// message path. With prioritize_urgent, under-threshold improvements ride
+/// the routed priority slots and overtake bulk at every hop
+/// (bench/fig_routed_sssp.cpp sweeps direct vs 2-D vs 3-D side by side).
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "core/tram.hpp"
 #include "graph/csr.hpp"
 #include "graph/shortest_path.hpp"
+#include "route/routed_domain.hpp"
 #include "runtime/machine.hpp"
 #include "util/spinlock.hpp"
 
@@ -57,6 +66,9 @@ struct SsspResult {
   double wasted_pct = 0.0;
   /// Edge relaxations performed (local + triggered by remote updates).
   std::uint64_t relaxations = 0;
+  /// Largest count of live source-side buffers on any one worker — O(N)
+  /// for the direct schemes, O(d * N^(1/d)) for the routed ones.
+  std::uint64_t max_reserved_buffers = 0;
   bool verified = false;
 };
 
@@ -93,11 +105,14 @@ class SsspApp {
                    std::uint32_t d);
   void drain_stack(rt::Worker& w, WorkerState& st);
   void on_idle(rt::Worker& w);
+  void flush_domain(rt::Worker& w);
 
   rt::Machine& machine_;
   SsspParams params_;
   graph::BlockPartition part_;
-  core::TramDomain<Update> domain_;
+  /// Exactly one of the two is constructed, per params.tram.scheme.
+  std::unique_ptr<core::TramDomain<Update>> direct_;
+  std::unique_ptr<route::RoutedDomain<Update>> routed_;
   std::vector<util::Padded<WorkerState>> state_;
   std::vector<std::uint64_t> reference_;  // Dijkstra distances (verify)
 };

@@ -22,11 +22,13 @@
 /// items.
 ///
 /// Routed (mesh) messages prepend a RoutedHeader instead: the mesh
-/// dimension the message travelled along plus its hop ordinal, so
-/// intermediates can validate dimension order and stats can attribute
-/// traffic per hop. The entries that follow carry the *final* destination
-/// worker in WireEntry::dest — intermediates never rewrite entries, they
-/// only re-bucket them.
+/// dimension the message travelled along, its hop ordinal, and a flags
+/// byte whose kPriority bit marks batches from the priority path — so
+/// intermediates can validate dimension order, re-bucket urgent entries
+/// into priority slots, and stats can attribute traffic per hop. The
+/// entries that follow carry the *final* destination worker in
+/// WireEntry::dest — intermediates never rewrite entries, they only
+/// re-bucket them.
 ///
 /// A routed message whose every entry terminates at the target process
 /// (the last hop) is shipped *pre-sorted* by destination local rank and
@@ -82,11 +84,23 @@ struct RoutedHeader {
   /// re-buckets goes to a dimension strictly greater than this.
   std::uint16_t dim = 0;
   /// Hop ordinal of this message: 1 for a ship off the source worker,
-  /// 1 + max inbound hop for a ship off an intermediate.
-  std::uint16_t hop = 1;
+  /// 1 + max inbound hop for a ship off an intermediate (bounded by the
+  /// mesh dimensionality, so 8 bits is generous).
+  std::uint8_t hop = 1;
+  /// kPriority flag rides here. Orthogonal to the sorted magic: a batch
+  /// can be both pre-sorted and priority.
+  std::uint8_t flags = 0;
 
   static constexpr std::uint32_t kMagic = 0x524d5348;        // "RMSH"
   static constexpr std::uint32_t kSortedMagic = 0x524d5353;  // "RMSS"
+  /// The batch came off the priority path (Handle::insert_priority):
+  /// intermediates re-bucket its entries into priority slots and flush
+  /// them ahead of bulk, so urgency survives every hop — not just the
+  /// first, which is what distinguishes routed prioritization from a
+  /// one-shot expedited send.
+  static constexpr std::uint8_t kPriority = 0x01;
+
+  bool priority() const noexcept { return (flags & kPriority) != 0; }
 };
 static_assert(sizeof(RoutedHeader) == 8);
 

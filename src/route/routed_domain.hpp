@@ -32,6 +32,13 @@
 /// price is up to d transport hops per item; the routed stats counters
 /// (routed_hop_msgs / routed_forward_msgs / routed_forwarded_items) make
 /// that trade measurable.
+///
+/// Urgent items (insert_priority, cfg.priority_buffer_items > 0) ride a
+/// parallel set of small per-dimension slots shipped expedited with the
+/// RoutedHeader::kPriority bit set: intermediates re-bucket them into
+/// their own priority slots and flush them ahead of bulk, so priority
+/// traffic overtakes bulk at every hop of the route — the property the
+/// latency-sensitive irregular apps (SSSP threshold updates) depend on.
 
 #include <array>
 #include <cassert>
@@ -83,17 +90,17 @@ class RoutedDomain {
     // the application mains returned can only leave through the idle
     // hook. A config that disables it would hang quiescence forever on
     // the first partial intermediate buffer, so reject it loudly. The
-    // timeout-flush and priority knobs are not implemented for routed
-    // domains (ROADMAP) — reject rather than silently ignore.
+    // timeout-flush knob is not implemented for routed domains (ROADMAP)
+    // — reject rather than silently ignore.
     if (!cfg_.flush_on_idle) {
       throw std::invalid_argument(
           "RoutedDomain: flush_on_idle=false would strand intermediate-hop "
           "buffers (multi-hop routing requires idle flushing)");
     }
-    if (cfg_.flush_timeout_ns != 0 || cfg_.priority_buffer_items != 0) {
+    if (cfg_.flush_timeout_ns != 0) {
       throw std::invalid_argument(
-          "RoutedDomain: flush_timeout_ns / priority_buffer_items are not "
-          "supported for routed schemes");
+          "RoutedDomain: flush_timeout_ns is not supported for routed "
+          "schemes");
     }
     register_endpoints();
     handles_.reserve(static_cast<std::size_t>(topo_.workers()));
@@ -234,16 +241,46 @@ class RoutedDomain {
       e.birth_ns = d.cfg_.latency_tracking ? util::now_ns() : 0;
       e.dest = dest;
       e.item = item;
-      push_entry(row_[proc_of(dest)], e, /*hop=*/1);
+      push_entry(row_[proc_of(dest)], e, /*hop=*/1, /*pri=*/false);
+    }
+
+    /// Aggregate an urgent item (the paper's future-work prioritization,
+    /// over the mesh). Rides a second set of per-dimension buffer slots
+    /// sized cfg.priority_buffer_items: small buffers fill (and ship)
+    /// quickly, the messages are expedited, and the RoutedHeader carries
+    /// a priority bit so every intermediate re-buckets the entries into
+    /// its own priority slots and flushes them ahead of bulk — urgent
+    /// items overtake bulk traffic at every hop, not just the first.
+    /// Falls back to insert() when priority buffering is not configured.
+    void insert_priority(WorkerId dest, const Item& item) {
+      auto& d = *domain_;
+      if (d.cfg_.priority_buffer_items == 0) {
+        insert(dest, item);
+        return;
+      }
+      ++stats_.items_inserted;
+      ++stats_.priority_items;
+      Entry e;
+      e.birth_ns = d.cfg_.latency_tracking ? util::now_ns() : 0;
+      e.dest = dest;
+      e.item = item;
+      push_entry(row_[proc_of(dest)], e, /*hop=*/1, /*pri=*/true);
     }
 
     /// Ship every partially filled buffer ("flush accumulated items").
     /// Idle workers call this automatically when flush_on_idle is set;
-    /// intermediate buffers drain the same way.
+    /// intermediate buffers drain the same way. Priority slots flush
+    /// first so urgent stragglers leave ahead of bulk at this hop too.
     void flush_all() {
+      for (int slot = 0; slot < static_cast<int>(pri_bufs_.size());
+           ++slot) {
+        if (!pri_bufs_[static_cast<std::size_t>(slot)].empty()) {
+          ship_slot(slot, /*from_flush=*/true, /*pri=*/true);
+        }
+      }
       for (int slot = 0; slot < static_cast<int>(bufs_.size()); ++slot) {
         if (!bufs_[static_cast<std::size_t>(slot)].empty()) {
-          ship_slot(slot, /*from_flush=*/true);
+          ship_slot(slot, /*from_flush=*/true, /*pri=*/false);
         }
       }
     }
@@ -268,6 +305,17 @@ class RoutedDomain {
         b.set_header_bytes(sizeof(core::RoutedHeader));
       }
       slot_hop_.assign(bufs_.size(), 0);
+      if (d.cfg_.priority_buffer_items > 0) {
+        // Priority slots mirror the bulk slot layout (one per mesh
+        // coordinate per dimension) so the same Route record indexes
+        // both: urgent entries re-aggregate per dimension exactly like
+        // bulk, just through smaller, expedited buffers.
+        pri_bufs_.resize(bufs_.size());
+        for (auto& b : pri_bufs_) {
+          b.set_header_bytes(sizeof(core::RoutedHeader));
+        }
+        pri_slot_hop_.assign(pri_bufs_.size(), 0);
+      }
     }
 
     /// workers_per_proc == 1 (non-SMP) is the common bench shape; skip
@@ -279,20 +327,27 @@ class RoutedDomain {
       return wpp_ == 1 ? 0 : w % wpp_;
     }
 
-    /// Bucket an entry into its route's buffer; ship on fill. `hop` is
-    /// the ordinal this entry's *next* ship will be (1 off the source,
-    /// inbound hop + 1 off an intermediate).
+    /// Bucket an entry into its route's buffer (priority entries into the
+    /// parallel priority slot); ship on fill. `hop` is the ordinal this
+    /// entry's *next* ship will be (1 off the source, inbound hop + 1 off
+    /// an intermediate).
     void push_entry(const Router::Route& r, const Entry& e,
-                    std::uint16_t hop) {
+                    std::uint8_t hop, bool pri) {
       auto& d = *domain_;
+      const std::uint32_t cap =
+          pri ? d.cfg_.priority_buffer_items : d.cfg_.buffer_items;
       const auto s = static_cast<std::size_t>(r.slot);
-      auto& buf = bufs_[s];
-      if (!buf.ever_acquired()) ++reserved_buffers_;
-      buf.push(e, d.cfg_.buffer_items);
-      if (hop > slot_hop_[s]) slot_hop_[s] = hop;
+      auto& buf = (pri ? pri_bufs_ : bufs_)[s];
+      // Priority slots stay out of the live-buffer metric (mirrors
+      // TramDomain: the bound being measured is the bulk footprint the
+      // section III-C formulas charge).
+      if (!pri && !buf.ever_acquired()) ++reserved_buffers_;
+      buf.push(e, cap);
+      auto& hops = pri ? pri_slot_hop_ : slot_hop_;
+      if (hop > hops[s]) hops[s] = hop;
       pending_.fetch_add(1, std::memory_order_release);
-      if (buf.size() >= d.cfg_.buffer_items) {
-        ship_slot(r.slot, /*from_flush=*/false);
+      if (buf.size() >= cap) {
+        ship_slot(r.slot, /*from_flush=*/false, pri);
       }
     }
 
@@ -300,23 +355,25 @@ class RoutedDomain {
     /// it fills — the batched form of push_entry (one memcpy per chunk
     /// instead of a push call per entry).
     void append_run(int slot, const Entry* src, std::uint32_t n,
-                    std::uint16_t hop) {
+                    std::uint8_t hop, bool pri) {
       auto& d = *domain_;
-      const std::uint32_t cap =
-          d.cfg_.buffer_items == 0 ? 1 : d.cfg_.buffer_items;
+      const std::uint32_t cap_cfg =
+          pri ? d.cfg_.priority_buffer_items : d.cfg_.buffer_items;
+      const std::uint32_t cap = cap_cfg == 0 ? 1 : cap_cfg;
       const auto s = static_cast<std::size_t>(slot);
-      auto& buf = bufs_[s];
-      if (!buf.ever_acquired()) ++reserved_buffers_;
+      auto& buf = (pri ? pri_bufs_ : bufs_)[s];
+      auto& hops = pri ? pri_slot_hop_ : slot_hop_;
+      if (!pri && !buf.ever_acquired()) ++reserved_buffers_;
       pending_.fetch_add(n, std::memory_order_release);
       while (n > 0) {
         const std::uint32_t room = cap - buf.size();
         const std::uint32_t k = n < room ? n : room;
         // Re-raise after every ship: ship_slot resets the slot's hop.
-        if (hop > slot_hop_[s]) slot_hop_[s] = hop;
+        if (hop > hops[s]) hops[s] = hop;
         buf.append(src, k, cap);
         src += k;
         n -= k;
-        if (buf.size() >= cap) ship_slot(slot, /*from_flush=*/false);
+        if (buf.size() >= cap) ship_slot(slot, /*from_flush=*/false, pri);
       }
     }
 
@@ -327,12 +384,12 @@ class RoutedDomain {
     /// slab behind a RoutedSortedHeader. Non-final slots ship their slab
     /// in place behind the plain RoutedHeader — the handle moves, nothing
     /// is copied.
-    void ship_slot(int slot, bool from_flush) {
+    void ship_slot(int slot, bool from_flush, bool pri) {
       auto& d = *domain_;
       const auto s = static_cast<std::size_t>(slot);
-      auto& buf = bufs_[s];
+      auto& buf = (pri ? pri_bufs_ : bufs_)[s];
       const std::size_t n = buf.size();
-      const std::uint16_t hop = slot_hop_[s];
+      const std::uint8_t hop = (pri ? pri_slot_hop_ : slot_hop_)[s];
       const bool sorted = d.router_.ships_final(slot);
 
       core::RoutedHeader hdr;
@@ -340,11 +397,15 @@ class RoutedDomain {
                          : core::RoutedHeader::kMagic;
       hdr.dim = static_cast<std::uint16_t>(d.router_.dim_of_slot(slot));
       hdr.hop = hop;
+      hdr.flags = pri ? core::RoutedHeader::kPriority : 0;
 
       rt::Message m;
       m.endpoint = d.ep_routed_;
       m.src_worker = self_->id();
-      m.expedited = d.cfg_.expedited;
+      // Priority batches are always expedited, whatever the bulk policy:
+      // expedited dispatch is what lets them overtake bulk in every
+      // inbox along the route.
+      m.expedited = pri || d.cfg_.expedited;
       m.hops = static_cast<std::uint8_t>(hop - 1);
 
       if (sorted && wpp_ > 1) {
@@ -366,11 +427,12 @@ class RoutedDomain {
 
       ++stats_.msgs_shipped;
       ++stats_.routed_hop_msgs;
+      if (pri) ++stats_.priority_msgs;
       if (sorted) ++stats_.routed_sorted_msgs;
       if (hop > 1) ++stats_.routed_forward_msgs;
       if (from_flush) ++stats_.flush_msgs;
       stats_.occupancy_at_ship.add(static_cast<double>(n));
-      slot_hop_[s] = 0;
+      (pri ? pri_slot_hop_ : slot_hop_)[s] = 0;
 
       self_->send_to_proc(d.router_.ship_target(self_proc_, slot),
                           std::move(m));
@@ -386,7 +448,7 @@ class RoutedDomain {
       const auto entries =
           rt::decode_payload<Entry>(bytes.subspan(wire.header_bytes));
       if (wire.sorted) {
-        scatter_sorted(w, msg, entries);
+        scatter_sorted(w, msg, entries, wire.hdr.priority());
       } else {
         rebucket_batch(w, entries, wire.hdr);
       }
@@ -398,7 +460,7 @@ class RoutedDomain {
     /// sub-view of the inbound slab (TramDomain's WsP scatter applied to
     /// the routed path; the slab recycles when the last segment drops).
     void scatter_sorted(rt::Worker& w, const rt::Message& msg,
-                        std::span<const Entry> entries) {
+                        std::span<const Entry> entries, bool pri) {
       auto& d = *domain_;
       if (wpp_ == 1) {
         // Trivial grouping: the whole payload is our segment.
@@ -434,7 +496,7 @@ class RoutedDomain {
         m.endpoint = d.ep_final_;
         m.dst_worker = d.topo_.worker_at(self_proc_, r);
         m.src_worker = w.id();
-        m.expedited = d.cfg_.expedited;
+        m.expedited = pri || d.cfg_.expedited;
         m.payload = msg.payload.subref(seg_bytes_off,
                                        count * sizeof(Entry));
         ++stats_.regroup_msgs;
@@ -460,6 +522,7 @@ class RoutedDomain {
     void rebucket_batch(rt::Worker& w, std::span<const Entry> entries,
                         const core::RoutedHeader& hdr) {
       auto& d = *domain_;
+      const bool pri = hdr.priority();
       const LocalWorkerId own = rank_of(w.id());
       const std::size_t n = entries.size();
       const std::size_t nbuckets =
@@ -525,15 +588,17 @@ class RoutedDomain {
         m.endpoint = d.ep_final_;
         m.dst_worker = d.topo_.worker_at(self_proc_, r);
         m.src_worker = w.id();
-        m.expedited = d.cfg_.expedited;
+        m.expedited = pri || d.cfg_.expedited;
         m.payload = scratch.subref(start * sizeof(Entry),
                                    count * sizeof(Entry));
         ++stats_.regroup_msgs;
         w.send(std::move(m));
       }
 
-      // Forwards: bulk-append whole runs one dimension up.
-      const auto next_ord = static_cast<std::uint16_t>(hdr.hop + 1);
+      // Forwards: bulk-append whole runs one dimension up. A priority
+      // batch re-buckets into this hop's priority slots (the wire bit is
+      // what keeps urgency alive past the first hop).
+      const auto next_ord = static_cast<std::uint8_t>(hdr.hop + 1);
       for (std::size_t b = static_cast<std::size_t>(wpp_); b < nbuckets;
            ++b) {
         const std::uint32_t count = bucket_counts_[b];
@@ -541,7 +606,7 @@ class RoutedDomain {
         const std::uint32_t start = bucket_starts_[b] - count;
         stats_.routed_forwarded_items += count;
         append_run(static_cast<int>(b) - wpp_, sorted + start, count,
-                   next_ord);
+                   next_ord, pri);
       }
     }
 
@@ -573,9 +638,14 @@ class RoutedDomain {
     /// per-entry routing decision is row_[dst_proc], one indexed load.
     const Router::Route* row_;
     std::vector<core::EntryBuffer<Entry>> bufs_;
+    /// Priority slots, mirroring bufs_'s layout; sized only when
+    /// cfg.priority_buffer_items > 0 (insert_priority falls back to the
+    /// bulk path otherwise).
+    std::vector<core::EntryBuffer<Entry>> pri_bufs_;
     /// Per-slot pending hop ordinal: max over the entries currently in the
     /// slot's buffer of the hop their next ship will be.
-    std::vector<std::uint16_t> slot_hop_;
+    std::vector<std::uint8_t> slot_hop_;
+    std::vector<std::uint8_t> pri_slot_hop_;
     /// rebucket_batch scratch, reused across inbound batches (safe:
     /// handlers never nest — both transports enqueue rather than call
     /// through, so a ship inside a handler cannot re-enter it).

@@ -57,10 +57,47 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{core::Scheme::WPs, 64, 16, true},
                       Param{core::Scheme::PP, 256, 4, true},
                       Param{core::Scheme::WW, 1, 1000000, false},
-                      Param{core::Scheme::WPs, 4096, 1, false}),
+                      Param{core::Scheme::WPs, 4096, 1, false},
+                      // Routed schemes: same workload through
+                      // route::RoutedDomain (multi-hop message path).
+                      Param{core::Scheme::Mesh2D, 64, 16, false},
+                      Param{core::Scheme::Mesh3D, 64, 16, false},
+                      Param{core::Scheme::Mesh2D, 64, 16, true}),
     [](const ::testing::TestParamInfo<Param>& param_info) {
       return param_info.param.label();
     });
+
+/// Routed SSSP with the mesh priority path: under-threshold improvements
+/// ride insert_priority, overtake bulk at every hop, and the result
+/// still verifies against Dijkstra — across multi-hop non-SMP meshes
+/// (the exactly-once sweep the routed irregular apps depend on).
+TEST(Sssp, RoutedPrioritizedMatchesDijkstra) {
+  graph::GeneratorParams gp;
+  gp.num_vertices = 4000;
+  gp.avg_degree = 6.0;
+  gp.seed = 7;
+  const graph::Csr g = graph::build_uniform(gp);
+  auto rt_cfg = rt::RuntimeConfig::testing();
+  rt_cfg.dedicated_comm = false;
+  for (const core::Scheme s :
+       {core::Scheme::Mesh2D, core::Scheme::Mesh3D}) {
+    rt::Machine m(util::Topology(8, 1, 1), rt_cfg);
+    apps::SsspParams p;
+    p.graph = &g;
+    p.tram.scheme = s;
+    p.tram.buffer_items = 128;
+    p.tram.priority_buffer_items = 16;
+    p.prioritize_urgent = true;
+    p.delta = 16;
+    apps::SsspApp app(m, p);
+    const auto res = app.run();
+    EXPECT_TRUE(res.verified) << core::to_string(s);
+    EXPECT_GT(res.tram.priority_items, 0u) << core::to_string(s);
+    EXPECT_GT(res.tram.routed_forwarded_items, 0u) << core::to_string(s);
+    EXPECT_EQ(res.tram.items_inserted, res.tram.items_delivered)
+        << core::to_string(s);
+  }
+}
 
 TEST(Sssp, UnreachableVerticesStayInfinite) {
   // Build a graph with an isolated second component.
