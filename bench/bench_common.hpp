@@ -24,6 +24,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/scheme.hpp"
+#include "core/tram_stats.hpp"
+#include "fault/fault_config.hpp"
 #include "net/cost_model.hpp"
 #include "runtime/config.hpp"
 #include "util/cli.hpp"
@@ -101,6 +104,44 @@ inline bool resolve_proc_counts(const std::string& arg,
   return false;
 }
 
+/// Fault-injection knobs shared by the routed benches: a lossy-fabric
+/// sweep is the same sweep with these applied to the RuntimeConfig.
+struct FaultOptions {
+  double drop = 0.0;
+  double dup = 0.0;
+  std::int64_t delay_ns = 0;
+  std::int64_t seed = 1;
+
+  void register_cli(util::Cli& cli) {
+    cli.add_double("fault-drop", &drop,
+                   "packet drop probability (installs the reliability "
+                   "layer when nonzero)");
+    cli.add_double("fault-dup", &dup, "packet duplication probability");
+    cli.add_int("fault-delay", &delay_ns, "extra per-packet delay, ns");
+    cli.add_int("fault-seed", &seed, "fault schedule seed");
+  }
+
+  bool any() const noexcept { return drop > 0.0 || dup > 0.0 || delay_ns > 0; }
+
+  fault::FaultConfig to_config() const {
+    // A negative value would wrap through the uint64 cast into a
+    // centuries-long delay (or a bogus seed) while any() reports no
+    // faults — fail fast instead.
+    if (delay_ns < 0 || seed < 0) {
+      std::fprintf(stderr,
+                   "--fault-delay and --fault-seed must be non-negative\n");
+      std::exit(1);
+    }
+    fault::FaultConfig f;
+    f.drop_rate = drop;
+    f.dup_rate = dup;
+    f.delay_ns = static_cast<std::uint64_t>(delay_ns);
+    f.seed = static_cast<std::uint64_t>(seed);
+    f.validate();  // rate errors surface here, not mid-sweep
+    return f;
+  }
+};
+
 /// One configuration's result in a bench sweep, as serialized by
 /// JsonReporter — the machine-readable perf trajectory next to the
 /// human-readable table.
@@ -115,8 +156,63 @@ struct JsonRow {
   std::uint64_t sorted = 0;     // pre-sorted last-hop (fast path) messages
   std::uint64_t subviews = 0;   // final-hop segments handed on zero-copy
   std::uint64_t max_buffers = 0;  // live source buffers, worst worker
+  /// Fault/reliability counters (src/fault/); all zero when the run was
+  /// fault-free.
+  core::FaultStats faults;
   bool verified = true;
 };
+
+/// The slice of a bench point every routed row reports — what
+/// make_routed_row serializes and RoutedVerifySweep compares.
+struct RoutedRowCounters {
+  double ns_per_item = 0.0;
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_bytes = 0;
+  std::uint64_t forwarded_messages = 0;
+  std::uint64_t sorted_messages = 0;
+  std::uint64_t subview_deliveries = 0;
+  std::uint64_t max_reserved_buffers = 0;
+  core::FaultStats faults;
+};
+
+/// Collect the shared counter slice out of a bench's point struct
+/// (HistoPoint / SsspPoint / PholdPoint all carry these fields under the
+/// same names).
+template <typename Point>
+RoutedRowCounters routed_counters_from(const Point& p, double ns_per_item) {
+  RoutedRowCounters c;
+  c.ns_per_item = ns_per_item;
+  c.fabric_messages = p.fabric_messages;
+  c.fabric_bytes = p.fabric_bytes;
+  c.forwarded_messages = p.forwarded_messages;
+  c.sorted_messages = p.sorted_messages;
+  c.subview_deliveries = p.subview_deliveries;
+  c.max_reserved_buffers = p.max_reserved_buffers;
+  c.faults = p.faults;
+  return c;
+}
+
+/// Build the JSON row every routed bench emits per (scheme, scale) cell.
+inline JsonRow make_routed_row(const std::string& scheme,
+                               const std::string& topology,
+                               const std::string& mesh,
+                               const RoutedRowCounters& c, bool verified) {
+  JsonRow row;
+  row.scheme = scheme;
+  row.topology = topology;
+  row.mesh = mesh;
+  row.ns_per_item = c.ns_per_item;
+  row.messages = c.fabric_messages;
+  row.bytes = c.fabric_bytes;
+  row.forwarded = c.forwarded_messages;
+  row.sorted = c.sorted_messages;
+  row.subviews = c.subview_deliveries;
+  row.max_buffers = c.max_reserved_buffers;
+  row.faults = c.faults;
+  row.verified = verified;
+  return row;
+}
+
 
 /// Accumulates JsonRows and writes them as one JSON document:
 ///   {"bench": <name>, "results": [ {...}, ... ]}
@@ -142,6 +238,11 @@ class JsonReporter {
                    "\"messages\": %llu, \"bytes\": %llu, "
                    "\"forwarded\": %llu, \"sorted\": %llu, "
                    "\"subviews\": %llu, \"max_buffers\": %llu, "
+                   "\"faults_injected_drop\": %llu, "
+                   "\"faults_injected_dup\": %llu, "
+                   "\"faults_injected_delay\": %llu, "
+                   "\"retransmits\": %llu, \"dup_drops\": %llu, "
+                   "\"acks_sent\": %llu, "
                    "\"verified\": %s}",
                    i == 0 ? "" : ",", r.scheme.c_str(), r.topology.c_str(),
                    r.mesh.c_str(), r.ns_per_item,
@@ -151,6 +252,15 @@ class JsonReporter {
                    static_cast<unsigned long long>(r.sorted),
                    static_cast<unsigned long long>(r.subviews),
                    static_cast<unsigned long long>(r.max_buffers),
+                   static_cast<unsigned long long>(
+                       r.faults.faults_injected_drop),
+                   static_cast<unsigned long long>(
+                       r.faults.faults_injected_dup),
+                   static_cast<unsigned long long>(
+                       r.faults.faults_injected_delay),
+                   static_cast<unsigned long long>(r.faults.retransmits),
+                   static_cast<unsigned long long>(r.faults.dup_drops),
+                   static_cast<unsigned long long>(r.faults.acks_sent),
                    r.verified ? "true" : "false");
     }
     std::fprintf(f, "\n  ]\n}\n");
@@ -232,6 +342,56 @@ class ShapeChecker {
  private:
   std::vector<std::pair<bool, std::string>> checks_;
   std::size_t failures_ = 0;
+};
+
+/// Direct-vs-routed verification bookkeeping shared by the routed app
+/// benches: per-(scale, scheme) cells in sweep order — the first scheme
+/// of each scale is the direct anchor — plus the structural shape checks
+/// every routed bench asserts.
+class RoutedVerifySweep {
+ public:
+  /// Call once per proc count, before that scale's add() calls.
+  void start_scale() { cells_.emplace_back(); }
+  void add(const RoutedRowCounters& c, bool verified) {
+    cells_.back().push_back(Cell{c, verified});
+  }
+
+  bool all_verified() const {
+    for (const auto& scale : cells_) {
+      for (const auto& cell : scale) {
+        if (!cell.verified) return false;
+      }
+    }
+    return true;
+  }
+
+  /// The shared routed-bench shape checks, evaluated at the largest
+  /// scale (cell order per scale: 0 = direct anchor, 1 = 2-D, 2 = 3-D):
+  /// everything verified, the 2-D mesh beats direct on live buffers, and
+  /// only the routed schemes forward through intermediates.
+  void standard_checks(ShapeChecker& shapes,
+                       const std::string& verified_what) const {
+    shapes.expect(all_verified(), verified_what);
+    const auto& last = cells_.back();
+    const RoutedRowCounters& direct = last[0].c;
+    const RoutedRowCounters& mesh2d = last[1].c;
+    const RoutedRowCounters& mesh3d = last[2].c;
+    shapes.expect(
+        mesh2d.max_reserved_buffers < direct.max_reserved_buffers,
+        "2-D mesh holds fewer live source buffers than direct at the "
+        "largest scale");
+    shapes.expect(direct.forwarded_messages == 0 &&
+                      mesh2d.forwarded_messages > 0 &&
+                      mesh3d.forwarded_messages > 0,
+                  "only the routed schemes forward through intermediates");
+  }
+
+ private:
+  struct Cell {
+    RoutedRowCounters c;
+    bool verified = false;
+  };
+  std::vector<std::vector<Cell>> cells_;
 };
 
 /// Print the table (and CSV when requested).

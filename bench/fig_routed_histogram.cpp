@@ -6,6 +6,14 @@
 /// degrades for direct as N grows but stays flat for routed; routed pays
 /// for this with forwarded (multi-hop) messages.
 ///
+/// With --fault-drop/--fault-dup/--fault-delay the sweep runs over a
+/// lossy fabric through the reliability layer (src/fault/): every row
+/// must still verify (exactly-once table totals), and the fault counters
+/// land in the JSON. Without fault flags the bench additionally checks
+/// the zero-cost guarantee: an explicitly all-zero FaultConfig leaves the
+/// transport chain undecorated and the WPs ns/item unchanged (within
+/// host noise).
+///
 /// Runs non-SMP (one worker per process) so the process count is the only
 /// variable. Emits BENCH_routed_histogram.json (override with --json).
 
@@ -20,10 +28,12 @@ using namespace tram;
 
 int main(int argc, char** argv) {
   bench::BenchOptions opt;
+  bench::FaultOptions fault;
   std::string procs_arg;
   opt.extra = [&](util::Cli& cli) {
     cli.add_string("procs", &procs_arg,
                    "comma-separated virtual process counts to sweep");
+    fault.register_cli(cli);
   };
   if (!opt.parse(argc, argv,
                  "fig_routed_histogram: direct vs 2-D vs 3-D mesh routing"))
@@ -42,12 +52,17 @@ int main(int argc, char** argv) {
       core::Scheme::WPs, core::Scheme::Mesh2D, core::Scheme::Mesh3D};
 
   util::Table table("Routed histogram: " + std::to_string(updates) +
-                    " updates/PE, g=" + std::to_string(g) + ", non-SMP");
+                    " updates/PE, g=" + std::to_string(g) + ", non-SMP" +
+                    (fault.any() ? ", faulty fabric" : ""));
   table.set_header({"procs", "scheme", "mesh", "bufs", "items/msg", "msgs",
-                    "fwd msgs", "sorted", "wall s", "ok"});
+                    "fwd msgs", "sorted", "rtx", "wall s", "ok"});
 
   bench::JsonReporter json("routed_histogram");
   bench::ShapeChecker shapes;
+  bench::RoutedVerifySweep sweep;
+
+  rt::RuntimeConfig rt_cfg = bench::bench_runtime_nonsmp();
+  rt_cfg.fault = fault.to_config();
 
   struct Cell {
     bench::HistoPoint point;
@@ -58,6 +73,7 @@ int main(int argc, char** argv) {
   for (std::size_t pi = 0; pi < proc_counts.size(); ++pi) {
     const int procs = proc_counts[pi];
     const util::Topology topo(procs, 1, 1);
+    sweep.start_scale();
     for (const auto scheme : schemes) {
       core::TramConfig tram;
       tram.scheme = scheme;
@@ -69,8 +85,7 @@ int main(int argc, char** argv) {
                    .to_string();
       }
       const auto point = bench::run_histogram(
-          topo, bench::bench_runtime_nonsmp(), tram, updates,
-          static_cast<int>(opt.trials));
+          topo, rt_cfg, tram, updates, static_cast<int>(opt.trials));
       cells[pi].push_back({point, mesh});
 
       const double ns_per_item =
@@ -87,54 +102,82 @@ int main(int argc, char** argv) {
                static_cast<long long>(point.forwarded_messages)),
            util::Table::fmt_int(
                static_cast<long long>(point.sorted_messages)),
+           util::Table::fmt_int(
+               static_cast<long long>(point.faults.retransmits)),
            util::Table::fmt(point.seconds, 4),
            point.verified ? "yes" : "NO"});
 
-      bench::JsonRow row;
-      row.scheme = core::to_string(scheme);
-      row.topology = topo.to_string();
-      row.mesh = mesh;
-      row.ns_per_item = ns_per_item;
-      row.messages = point.fabric_messages;
-      row.bytes = point.fabric_bytes;
-      row.forwarded = point.forwarded_messages;
-      row.sorted = point.sorted_messages;
-      row.subviews = point.subview_deliveries;
-      row.max_buffers = point.max_reserved_buffers;
-      row.verified = point.verified;
-      json.add(row);
+      const auto c = bench::routed_counters_from(point, ns_per_item);
+      sweep.add(c, point.verified);
+      json.add(bench::make_routed_row(core::to_string(scheme),
+                                      topo.to_string(), mesh, c,
+                                      point.verified));
     }
   }
   bench::emit(table, opt);
   json.write(opt.json);
 
   // Shape expectations (indices follow `schemes`: 0=WPs, 1=2D, 2=3D).
-  bool all_verified = true;
-  for (const auto& per_proc : cells) {
-    for (const auto& c : per_proc) all_verified = all_verified && c.point.verified;
-  }
-  shapes.expect(all_verified,
-                "every configuration delivered every item exactly once");
+  sweep.standard_checks(
+      shapes, "every configuration delivered every item exactly once");
 
   const std::size_t last = proc_counts.size() - 1;  // largest proc count
   const auto& direct = cells[last][0].point;
   const auto& mesh2d = cells[last][1].point;
   const auto& mesh3d = cells[last][2].point;
-  shapes.expect(mesh2d.max_reserved_buffers < direct.max_reserved_buffers,
-                "2-D mesh holds fewer live source buffers than direct WPs "
-                "at the largest scale");
   shapes.expect(mesh3d.max_reserved_buffers <= mesh2d.max_reserved_buffers,
                 "3-D mesh holds no more live buffers than 2-D");
-  shapes.expect(mesh2d.mean_occupancy > direct.mean_occupancy,
-                "fewer, fatter buffers: routed messages carry more items "
-                "than direct at the largest scale");
-  shapes.expect(direct.forwarded_messages == 0 &&
-                    mesh2d.forwarded_messages > 0,
-                "only the routed scheme forwards through intermediates");
   shapes.expect(mesh2d.sorted_messages > 0 && mesh3d.sorted_messages > 0 &&
                     direct.sorted_messages == 0,
                 "routed last hops ship pre-sorted (zero-copy scatter fast "
                 "path)");
+
+  if (fault.any()) {
+    // A lossy sweep must actually have been lossy — and recovered. The
+    // occupancy comparison below is fault-free-only: retransmit-
+    // perturbed flush timing skews items/msg either way on a healthy
+    // lossy run.
+    const auto& f2d = cells[last][1].point.faults;
+    shapes.expect(f2d.faults_injected_drop + f2d.faults_injected_dup +
+                          f2d.faults_injected_delay >
+                      0,
+                  "faulty sweep injected at least one fault on the 2-D "
+                  "mesh at the largest scale");
+  } else {
+    shapes.expect(mesh2d.mean_occupancy > direct.mean_occupancy,
+                  "fewer, fatter buffers: routed messages carry more "
+                  "items than direct at the largest scale");
+    // Zero-cost guarantee for FaultConfig{} (all zero). Structural half:
+    // the default config installs no decorators and counts nothing.
+    const auto& f = cells[last][0].point.faults;
+    shapes.expect(f.faults_injected_drop == 0 && f.retransmits == 0 &&
+                      f.dup_drops == 0 && f.acks_sent == 0,
+                  "fault-free sweep engaged none of the fault machinery");
+    // Timing half: re-run the smallest WPs cell with an explicitly
+    // all-zero FaultConfig — the identical code path, so ns/item may
+    // differ only by host noise (generous band: this box is shared).
+    const int procs0 = proc_counts[0];
+    const util::Topology topo0(procs0, 1, 1);
+    core::TramConfig tram0;
+    tram0.scheme = core::Scheme::WPs;
+    tram0.buffer_items = g;
+    rt::RuntimeConfig explicit_zero = bench::bench_runtime_nonsmp();
+    explicit_zero.fault = fault::FaultConfig{};
+    const auto rerun = bench::run_histogram(
+        topo0, explicit_zero, tram0, updates, static_cast<int>(opt.trials));
+    const double base_ns =
+        cells[0][0].point.seconds * 1e9 /
+        static_cast<double>(updates * static_cast<std::uint64_t>(procs0));
+    const double rerun_ns =
+        rerun.seconds * 1e9 /
+        static_cast<double>(updates * static_cast<std::uint64_t>(procs0));
+    std::printf("\nzero-fault sanity: WPs@%d ns/item %.2f (sweep) vs %.2f "
+                "(explicit FaultConfig{})\n",
+                procs0, base_ns, rerun_ns);
+    shapes.expect(rerun_ns < base_ns * 4.0 && base_ns < rerun_ns * 4.0,
+                  "explicit all-zero FaultConfig leaves WPs ns/item "
+                  "unchanged (within host noise)");
+  }
   shapes.report();
   return 0;
 }

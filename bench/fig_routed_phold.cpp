@@ -8,7 +8,9 @@
 /// row is verified only when delivery was exactly-once (tram inserted ==
 /// delivered under quiescence) AND its event count matches the
 /// direct-scheme run bit-for-bit. CI's bench-smoke job fails on any
-/// `"verified": false` row.
+/// `"verified": false` row. With --fault-drop/--fault-dup/--fault-delay
+/// the same sweep runs over a lossy fabric through the reliability layer
+/// (src/fault/), and the verification must still hold.
 ///
 /// Runs non-SMP (one worker per process) so the process count is the only
 /// variable. Emits BENCH_routed_phold.json (override with --json).
@@ -37,13 +39,15 @@ struct PholdPoint {
   std::uint64_t fabric_bytes = 0;
   std::uint64_t max_reserved_buffers = 0;
   std::uint64_t items = 0;
+  core::FaultStats faults;
   bool exactly_once = true;
 };
 
 PholdPoint run_phold(const util::Topology& topo,
-                     const core::TramConfig& tram_cfg, double end_time,
+                     const core::TramConfig& tram_cfg,
+                     const rt::RuntimeConfig& rt_cfg, double end_time,
                      int trials) {
-  rt::Machine machine(topo, bench::bench_runtime_nonsmp());
+  rt::Machine machine(topo, rt_cfg);
   apps::PholdParams params;
   params.lps_per_worker = 32;
   params.init_events_per_lp = 1;
@@ -67,6 +71,7 @@ PholdPoint run_phold(const util::Topology& topo,
     point.fabric_bytes = res.run.fabric_bytes;
     point.max_reserved_buffers = res.max_reserved_buffers;
     point.items = res.tram.items_delivered;
+    point.faults = machine.fault_stats();
     point.exactly_once = point.exactly_once &&
                          res.tram.items_inserted == res.tram.items_delivered;
     return res.run.wall_s;
@@ -79,10 +84,12 @@ PholdPoint run_phold(const util::Topology& topo,
 
 int main(int argc, char** argv) {
   bench::BenchOptions opt;
+  bench::FaultOptions fault;
   std::string procs_arg;
   opt.extra = [&](util::Cli& cli) {
     cli.add_string("procs", &procs_arg,
                    "comma-separated virtual process counts to sweep");
+    fault.register_cli(cli);
   };
   if (!opt.parse(argc, argv,
                  "fig_routed_phold: direct vs 2-D vs 3-D mesh routing"))
@@ -98,22 +105,22 @@ int main(int argc, char** argv) {
       core::Scheme::WPs, core::Scheme::Mesh2D, core::Scheme::Mesh3D};
 
   util::Table table("Routed PHOLD: 32 LPs/PE, end_time=" +
-                    util::Table::fmt(end_time, 0) + ", non-SMP");
+                    util::Table::fmt(end_time, 0) + ", non-SMP" +
+                    (fault.any() ? ", faulty fabric" : ""));
   table.set_header({"procs", "scheme", "mesh", "events", "ooo %", "bufs",
-                    "msgs", "fwd msgs", "wall s", "ok"});
+                    "msgs", "fwd msgs", "rtx", "wall s", "ok"});
 
   bench::JsonReporter json("routed_phold");
   bench::ShapeChecker shapes;
+  bench::RoutedVerifySweep sweep;
 
-  struct Cell {
-    PholdPoint point;
-    bool verified = false;
-  };
-  std::vector<std::vector<Cell>> cells(proc_counts.size());
+  rt::RuntimeConfig rt_cfg = bench::bench_runtime_nonsmp();
+  rt_cfg.fault = fault.to_config();
 
   for (std::size_t pi = 0; pi < proc_counts.size(); ++pi) {
     const int procs = proc_counts[pi];
     const util::Topology topo(procs, 1, 1);
+    sweep.start_scale();
     // The direct scheme's event count anchors the bit-for-bit
     // cross-check for the routed rows at this scale.
     std::uint64_t direct_events = 0;
@@ -127,14 +134,19 @@ int main(int argc, char** argv) {
                                                core::mesh_ndims(scheme))
                    .to_string();
       }
-      const auto point =
-          run_phold(topo, tram, end_time, static_cast<int>(opt.trials));
+      const auto point = run_phold(topo, tram, rt_cfg, end_time,
+                                   static_cast<int>(opt.trials));
       if (scheme == core::Scheme::WPs) direct_events = point.events;
 
       const bool verified =
           point.exactly_once && point.events == direct_events &&
           point.events > 0;
-      cells[pi].push_back({point, verified});
+
+      const auto c = bench::routed_counters_from(
+          point, point.items ? point.seconds * 1e9 /
+                                   static_cast<double>(point.items)
+                             : 0.0);
+      sweep.add(c, verified);
 
       table.add_row(
           {util::Table::fmt_int(procs), core::to_string(scheme), mesh,
@@ -146,49 +158,21 @@ int main(int argc, char** argv) {
                static_cast<long long>(point.tram_messages)),
            util::Table::fmt_int(
                static_cast<long long>(point.forwarded_messages)),
+           util::Table::fmt_int(
+               static_cast<long long>(point.faults.retransmits)),
            util::Table::fmt(point.seconds, 4), verified ? "yes" : "NO"});
 
-      bench::JsonRow row;
-      row.scheme = core::to_string(scheme);
-      row.topology = topo.to_string();
-      row.mesh = mesh;
-      row.ns_per_item =
-          point.items ? point.seconds * 1e9 /
-                            static_cast<double>(point.items)
-                      : 0.0;
-      row.messages = point.fabric_messages;
-      row.bytes = point.fabric_bytes;
-      row.forwarded = point.forwarded_messages;
-      row.sorted = point.sorted_messages;
-      row.subviews = point.subview_deliveries;
-      row.max_buffers = point.max_reserved_buffers;
-      row.verified = verified;
-      json.add(row);
+      json.add(bench::make_routed_row(core::to_string(scheme),
+                                      topo.to_string(), mesh, c, verified));
     }
   }
   bench::emit(table, opt);
   json.write(opt.json);
 
-  // Shape expectations (indices follow `schemes`: 0=WPs, 1=2D, 2=3D).
-  bool all_verified = true;
-  for (const auto& per_proc : cells) {
-    for (const auto& c : per_proc) all_verified = all_verified && c.verified;
-  }
-  shapes.expect(all_verified,
-                "every configuration verified: exactly-once and event "
-                "counts bit-for-bit equal to direct");
-
-  const std::size_t last = proc_counts.size() - 1;  // largest proc count
-  const auto& direct = cells[last][0].point;
-  const auto& mesh2d = cells[last][1].point;
-  const auto& mesh3d = cells[last][2].point;
-  shapes.expect(mesh2d.max_reserved_buffers < direct.max_reserved_buffers,
-                "2-D mesh holds fewer live source buffers than direct WPs "
-                "at the largest scale");
-  shapes.expect(direct.forwarded_messages == 0 &&
-                    mesh2d.forwarded_messages > 0 &&
-                    mesh3d.forwarded_messages > 0,
-                "only the routed schemes forward through intermediates");
+  sweep.standard_checks(
+      shapes,
+      "every configuration verified: exactly-once and event counts "
+      "bit-for-bit equal to direct");
   shapes.report();
   return 0;
 }

@@ -8,7 +8,9 @@
 /// exactly once (tram inserted == delivered under quiescence), match
 /// Dijkstra, and converge to distances bit-for-bit identical to the
 /// direct-scheme run (FNV hash over the distance array). CI's bench-smoke
-/// job fails on any `"verified": false` row.
+/// job fails on any `"verified": false` row. With --fault-drop/--fault-dup/
+/// --fault-delay the same sweep runs over a lossy fabric through the
+/// reliability layer (src/fault/), and the verification must still hold.
 ///
 /// Runs non-SMP (one worker per process) so the process count is the only
 /// variable. Emits BENCH_routed_sssp.json (override with --json).
@@ -23,10 +25,12 @@ using namespace tram;
 
 int main(int argc, char** argv) {
   bench::BenchOptions opt;
+  bench::FaultOptions fault;
   std::string procs_arg;
   opt.extra = [&](util::Cli& cli) {
     cli.add_string("procs", &procs_arg,
                    "comma-separated virtual process counts to sweep");
+    fault.register_cli(cli);
   };
   if (!opt.parse(argc, argv,
                  "fig_routed_sssp: direct vs 2-D vs 3-D mesh routing"))
@@ -47,26 +51,31 @@ int main(int argc, char** argv) {
       core::Scheme::WPs, core::Scheme::Mesh2D, core::Scheme::Mesh3D};
 
   util::Table table("Routed SSSP: " + std::to_string(gp.num_vertices) +
-                    " vertices, priority path on, non-SMP");
+                    " vertices, priority path on, non-SMP" +
+                    (fault.any() ? ", faulty fabric" : ""));
   table.set_header({"procs", "scheme", "mesh", "bufs", "wasted %", "msgs",
-                    "fwd msgs", "pri msgs", "wall s", "ok"});
+                    "fwd msgs", "pri msgs", "rtx", "wall s", "ok"});
 
   bench::JsonReporter json("routed_sssp");
   bench::ShapeChecker shapes;
+  bench::RoutedVerifySweep sweep;
 
-  struct Cell {
-    bench::SsspPoint point;
-    bool verified = false;
-  };
-  std::vector<std::vector<Cell>> cells(proc_counts.size());
+  // Priority-message totals per scheme at the largest scale (the one
+  // SSSP-specific shape check the shared harness does not cover).
+  std::vector<std::uint64_t> last_priority_msgs(schemes.size(), 0);
+
+  rt::RuntimeConfig rt_cfg = bench::bench_runtime_nonsmp();
+  rt_cfg.fault = fault.to_config();
 
   for (std::size_t pi = 0; pi < proc_counts.size(); ++pi) {
     const int procs = proc_counts[pi];
     const util::Topology topo(procs, 1, 1);
+    sweep.start_scale();
     // The direct scheme's distance hash anchors the bit-for-bit
     // cross-check for the routed rows at this scale.
     std::uint64_t direct_hash = 0;
-    for (const auto scheme : schemes) {
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const core::Scheme scheme = schemes[si];
       core::TramConfig tram;
       tram.scheme = scheme;
       tram.buffer_items = 256;
@@ -77,9 +86,9 @@ int main(int argc, char** argv) {
                                                core::mesh_ndims(scheme))
                    .to_string();
       }
-      const auto point = bench::run_sssp(
-          g, topo, tram, static_cast<int>(opt.trials),
-          bench::bench_runtime_nonsmp(), /*prioritize_urgent=*/true);
+      const auto point =
+          bench::run_sssp(g, topo, tram, static_cast<int>(opt.trials),
+                          rt_cfg, /*prioritize_urgent=*/true);
       if (scheme == core::Scheme::WPs) direct_hash = point.dist_hash;
 
       // A row is verified only when delivery was exactly-once, the
@@ -87,7 +96,15 @@ int main(int argc, char** argv) {
       // bit-for-bit.
       const bool verified = point.verified && point.exactly_once &&
                             point.dist_hash == direct_hash;
-      cells[pi].push_back({point, verified});
+
+      const auto c = bench::routed_counters_from(
+          point, point.items ? point.seconds * 1e9 /
+                                   static_cast<double>(point.items)
+                             : 0.0);
+      sweep.add(c, verified);
+      if (pi + 1 == proc_counts.size()) {
+        last_priority_msgs[si] = point.priority_messages;
+      }
 
       table.add_row(
           {util::Table::fmt_int(procs), core::to_string(scheme), mesh,
@@ -100,51 +117,22 @@ int main(int argc, char** argv) {
                static_cast<long long>(point.forwarded_messages)),
            util::Table::fmt_int(
                static_cast<long long>(point.priority_messages)),
+           util::Table::fmt_int(
+               static_cast<long long>(point.faults.retransmits)),
            util::Table::fmt(point.seconds, 4), verified ? "yes" : "NO"});
 
-      bench::JsonRow row;
-      row.scheme = core::to_string(scheme);
-      row.topology = topo.to_string();
-      row.mesh = mesh;
-      row.ns_per_item =
-          point.items ? point.seconds * 1e9 /
-                            static_cast<double>(point.items)
-                      : 0.0;
-      row.messages = point.fabric_messages;
-      row.bytes = point.fabric_bytes;
-      row.forwarded = point.forwarded_messages;
-      row.sorted = point.sorted_messages;
-      row.subviews = point.subview_deliveries;
-      row.max_buffers = point.max_reserved_buffers;
-      row.verified = verified;
-      json.add(row);
+      json.add(bench::make_routed_row(core::to_string(scheme),
+                                      topo.to_string(), mesh, c, verified));
     }
   }
   bench::emit(table, opt);
   json.write(opt.json);
 
-  // Shape expectations (indices follow `schemes`: 0=WPs, 1=2D, 2=3D).
-  bool all_verified = true;
-  for (const auto& per_proc : cells) {
-    for (const auto& c : per_proc) all_verified = all_verified && c.verified;
-  }
-  shapes.expect(all_verified,
-                "every configuration verified: exactly-once, Dijkstra "
-                "match, and distances bit-for-bit equal to direct");
-
-  const std::size_t last = proc_counts.size() - 1;  // largest proc count
-  const auto& direct = cells[last][0].point;
-  const auto& mesh2d = cells[last][1].point;
-  const auto& mesh3d = cells[last][2].point;
-  shapes.expect(mesh2d.max_reserved_buffers < direct.max_reserved_buffers,
-                "2-D mesh holds fewer live source buffers than direct WPs "
-                "at the largest scale");
-  shapes.expect(direct.forwarded_messages == 0 &&
-                    mesh2d.forwarded_messages > 0 &&
-                    mesh3d.forwarded_messages > 0,
-                "only the routed schemes forward through intermediates");
-  shapes.expect(mesh2d.priority_messages > 0 &&
-                    mesh3d.priority_messages > 0,
+  sweep.standard_checks(
+      shapes,
+      "every configuration verified: exactly-once, Dijkstra match, and "
+      "distances bit-for-bit equal to direct");
+  shapes.expect(last_priority_msgs[1] > 0 && last_priority_msgs[2] > 0,
                 "under-threshold updates rode the routed priority path");
   shapes.report();
   return 0;

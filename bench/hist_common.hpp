@@ -26,6 +26,8 @@ struct HistoPoint {
   /// O(d*N^(1/d)) routed).
   std::uint64_t max_reserved_buffers = 0;
   double mean_occupancy = 0.0;      // items per shipped message
+  /// Fault/reliability counters (all zero for fault-free runs).
+  core::FaultStats faults;
   bool verified = true;
 };
 
@@ -55,6 +57,7 @@ inline HistoPoint run_histogram(const util::Topology& topo,
     point.subview_deliveries = res.tram.routed_subview_deliveries;
     point.max_reserved_buffers = res.max_reserved_buffers;
     point.mean_occupancy = res.tram.occupancy_at_ship.mean();
+    point.faults = machine.fault_stats();
     point.verified = point.verified && res.verified;
     return res.run.wall_s;
   });

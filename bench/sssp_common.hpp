@@ -28,6 +28,8 @@ struct SsspPoint {
   std::uint64_t max_reserved_buffers = 0;
   std::uint64_t fabric_messages = 0;
   std::uint64_t fabric_bytes = 0;
+  /// Fault/reliability counters (all zero for fault-free runs).
+  core::FaultStats faults;
   /// FNV-1a over every vertex's final distance: two runs converged to
   /// bit-for-bit identical distances iff the hashes match (the routed
   /// benches cross-check this against the direct-scheme run).
@@ -67,6 +69,7 @@ inline SsspPoint run_sssp(const graph::Csr& g, const util::Topology& topo,
     point.max_reserved_buffers = res.max_reserved_buffers;
     point.fabric_messages = res.run.fabric_messages;
     point.fabric_bytes = res.run.fabric_bytes;
+    point.faults = machine.fault_stats();
     return res.run.wall_s;
   });
   point.wasted_pct = pct_stats.mean();

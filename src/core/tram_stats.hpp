@@ -88,6 +88,23 @@ struct WorkerTramStats {
   }
 };
 
+/// Fault-injection and reliability counters (src/fault/), filled
+/// machine-wide by rt::Machine::fault_stats() from the two transport
+/// decorators. All zero when fault injection is off — the zero-fault
+/// path never touches this machinery.
+struct FaultStats {
+  /// Packets the fault layer swallowed / injected twice / held back.
+  std::uint64_t faults_injected_drop = 0;
+  std::uint64_t faults_injected_dup = 0;
+  std::uint64_t faults_injected_delay = 0;
+  /// Head-of-line probes re-shipped after a retransmit timeout.
+  std::uint64_t retransmits = 0;
+  /// Data messages the receiver-side dedup window consumed.
+  std::uint64_t dup_drops = 0;
+  /// Standalone cumulative acks (piggybacked acks ride data for free).
+  std::uint64_t acks_sent = 0;
+};
+
 /// ---- Section III-C formulas ----
 /// Notation: g items per buffer, m bytes per item, N processes, t workers
 /// per process, z items sent per source PE.

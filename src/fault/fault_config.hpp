@@ -1,0 +1,71 @@
+#pragma once
+///
+/// \file fault_config.hpp
+/// \brief Fault-injection knobs for the transport chain (src/fault/).
+///
+/// An all-zero config (the default) means the Machine builds the exact
+/// transport it built before this subsystem existed — no decorators, no
+/// headers, no per-message cost. Any nonzero fault knob makes the Machine
+/// wrap the base transport in FaultyTransport (injects the faults) and
+/// ReliableTransport (restores exactly-once on top of them); the two are
+/// always installed together, because a lossy fabric without the recovery
+/// protocol would simply hang quiescence on the first dropped packet.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace tram::fault {
+
+struct FaultConfig {
+  /// Probability that a packet handed to the fabric vanishes.
+  double drop_rate = 0.0;
+  /// Probability that a packet is injected twice.
+  double dup_rate = 0.0;
+  /// Extra holding time applied to delayed packets, nanoseconds. Faults
+  /// are injected only when this (or a rate above) is nonzero.
+  std::uint64_t delay_ns = 0;
+  /// Fraction of packets that pay delay_ns (1.0 = every packet). Values
+  /// below 1 reorder packets against their undelayed peers, which is what
+  /// exercises the receiver's out-of-order dedup window.
+  double delay_rate = 1.0;
+  /// Seed of the fault schedule. The fate of every (channel, seq, attempt)
+  /// is a pure function of this seed — schedules replay bit-for-bit.
+  std::uint64_t seed = 0x7a31;
+
+  /// Retransmit timeout. 0 derives it from the machine's cost model:
+  /// a few modeled round trips plus the injected delay (see
+  /// ReliableTransport), floored so zero-cost test models still converge.
+  std::uint64_t rto_ns = 0;
+  /// Holdoff before a receiver sends a standalone cumulative ack for
+  /// inbound data no reverse traffic has piggybacked yet. 0 = rto / 8.
+  std::uint64_t ack_delay_ns = 0;
+
+  /// Whether any fault is configured (and thus whether the Machine
+  /// installs the faulty + reliable transport decorators).
+  bool enabled() const noexcept {
+    return drop_rate > 0.0 || dup_rate > 0.0 || delay_ns > 0;
+  }
+
+  /// Rates past ~0.9 make retransmission convergence geometric-in-name-only
+  /// (and 1.0 would never deliver anything); reject loudly instead of
+  /// hanging quiescence detection.
+  void validate() const {
+    if (drop_rate < 0.0 || drop_rate > 0.9) {
+      throw std::invalid_argument("FaultConfig: drop_rate must be in [0, 0.9]");
+    }
+    if (dup_rate < 0.0 || dup_rate > 0.9) {
+      throw std::invalid_argument("FaultConfig: dup_rate must be in [0, 0.9]");
+    }
+    if (delay_rate < 0.0 || delay_rate > 1.0) {
+      throw std::invalid_argument("FaultConfig: delay_rate must be in [0, 1]");
+    }
+    // A held packet blocks quiescence for its full delay; anything past a
+    // minute is a wrapped negative or a typo, not an experiment.
+    if (delay_ns > 60'000'000'000ULL) {
+      throw std::invalid_argument(
+          "FaultConfig: delay_ns must be at most 60s");
+    }
+  }
+};
+
+}  // namespace tram::fault

@@ -1,0 +1,305 @@
+#include "fault/reliable_transport.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "runtime/machine.hpp"
+#include "runtime/process.hpp"
+#include "util/payload_pool.hpp"
+#include "util/timebase.hpp"
+
+namespace tram::fault {
+
+namespace {
+/// Floor on the derived retransmit timeout: under the zero-cost test
+/// model the modeled round trip is 0, but acks still take real wall time
+/// (pump polling, thread scheduling) to come back — probing faster than
+/// this only manufactures spurious duplicates.
+constexpr std::uint64_t kMinRtoNs = 300'000;
+
+/// Combine two "0 means none" deadlines into the earlier one.
+std::uint64_t min_due(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return a < b ? a : b;
+}
+
+/// Serial-number order (RFC 1982 style): does a precede b? Correct
+/// across uint32 wraparound as long as the live window stays under
+/// 2^31 sequences — service-length runs wrap, absolute comparison
+/// would then dedup-drop every new message forever.
+bool seq_before(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+}  // namespace
+
+ReliableTransport::ReliableTransport(rt::Machine& machine,
+                                     std::unique_ptr<rt::Transport> inner,
+                                     FaultConfig cfg)
+    : machine_(machine),
+      inner_(std::move(inner)),
+      procs_(machine.topology().procs()) {
+  cfg.validate();
+  // Virtual-time timeout: a few modeled one-way latencies plus whatever
+  // extra delay the fault layer injects, floored for zero-cost models.
+  const auto& cost = machine.config().cost;
+  const auto modeled = static_cast<std::uint64_t>(
+      cost.alpha_remote_ns + cost.inject_ns);
+  rto_ns_ = cfg.rto_ns != 0
+                ? cfg.rto_ns
+                : std::max(kMinRtoNs, 4 * (modeled + cfg.delay_ns));
+  ack_delay_ns_ = cfg.ack_delay_ns != 0 ? cfg.ack_delay_ns : rto_ns_ / 8;
+  ch_ = std::make_unique<Channel[]>(static_cast<std::size_t>(procs_) *
+                                    static_cast<std::size_t>(procs_));
+}
+
+void ReliableTransport::send(ProcId src_proc, rt::Message&& m) {
+  const ProcId dst = rt::message_dst_proc(machine_, m);
+
+  ReliableHeader h;
+  h.kind = ReliableHeader::kData;
+  h.src_proc = static_cast<std::uint16_t>(src_proc);
+  {
+    // Piggyback: what this process has cumulatively received on the
+    // reverse channel — and with it, the standalone ack it would
+    // otherwise owe.
+    Channel& rev = ch(dst, src_proc);
+    std::lock_guard<util::Spinlock> g(rev.mu);
+    h.ack = rev.cum;
+    if (rev.owes_ack) {
+      rev.owes_ack = false;
+      rev.ack_deadline_ns = 0;
+      owed_acks_total_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  // Frame into a fresh slab: header + payload bytes. The one copy this
+  // protocol costs per message — the retransmit queue then holds the
+  // framed slab by reference, so re-sends are copy-free.
+  util::PayloadRef framed =
+      util::PayloadPool::global().acquire(sizeof h + m.payload.size());
+  if (!m.payload.empty()) {
+    std::memcpy(framed.data() + sizeof h, m.payload.data(),
+                m.payload.size());
+  }
+
+  rt::Message out;
+  out.endpoint = m.endpoint;
+  out.dst_worker = m.dst_worker;
+  out.src_worker = m.src_worker;
+  out.dst_proc_hint = m.dst_proc_hint;
+  out.expedited = m.expedited;
+  out.hops = m.hops;
+  out.payload = std::move(framed);
+
+  Channel& fwd = ch(src_proc, dst);
+  {
+    // The sequence number is assigned and the retransmit entry queued
+    // before the message can reach the wire: an ack can never arrive for
+    // an entry that is not yet tracked.
+    std::lock_guard<util::Spinlock> g(fwd.mu);
+    h.seq = fwd.next_seq++;
+    std::memcpy(out.payload.data(), &h, sizeof h);
+    fwd.unacked.push_back(SendEntry{h.seq, out});
+    if (fwd.unacked.size() == 1) {
+      fwd.probe_deadline_ns = util::now_ns() + rto_ns_;
+    }
+  }
+  unacked_total_.fetch_add(1, std::memory_order_acq_rel);
+  inner_->send(src_proc, std::move(out));
+}
+
+void ReliableTransport::apply_ack(ProcId data_src, ProcId data_dst,
+                                  std::uint32_t ack) {
+  Channel& c = ch(data_src, data_dst);
+  std::size_t popped = 0;
+  {
+    std::lock_guard<util::Spinlock> g(c.mu);
+    while (!c.unacked.empty() && seq_before(c.unacked.front().seq, ack)) {
+      c.unacked.pop_front();
+      ++popped;
+    }
+    if (popped != 0) {
+      c.probe_deadline_ns =
+          c.unacked.empty() ? 0 : util::now_ns() + rto_ns_;
+    }
+  }
+  if (popped != 0) {
+    unacked_total_.fetch_sub(popped, std::memory_order_acq_rel);
+  }
+}
+
+bool ReliableTransport::on_inbound(rt::Process& proc, rt::Message& m) {
+  const ProcId dst = proc.id();
+  const ReliableHeader h = parse_reliable_header(m.payload.span());
+  const auto src = static_cast<ProcId>(h.src_proc);
+
+  // The ack field acknowledges data this process sent to src.
+  apply_ack(dst, src, h.ack);
+  if (h.kind == ReliableHeader::kAck) return false;  // consumed
+
+  Channel& c = ch(src, dst);
+  {
+    std::lock_guard<util::Spinlock> g(c.mu);
+    // Any data arrival (re-)arms the delayed ack: a duplicate means the
+    // sender may have lost our previous ack, so it must be replaced.
+    if (!c.owes_ack) {
+      c.owes_ack = true;
+      c.ack_deadline_ns = util::now_ns() + ack_delay_ns_;
+      owed_acks_total_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (seq_before(h.seq, c.cum) || c.ooo.count(h.seq) != 0) {
+      dup_drops_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // duplicate: consumed before it reaches an endpoint
+    }
+    if (h.seq == c.cum) {
+      ++c.cum;
+      while (c.ooo.erase(c.cum) != 0) ++c.cum;
+    } else {
+      c.ooo.insert(h.seq);  // deliver out of order, remember for dedup
+    }
+  }
+  // Strip the frame: the endpoint sees exactly the payload it was sent.
+  m.payload = m.payload.subref(sizeof(ReliableHeader),
+                               m.payload.size() - sizeof(ReliableHeader));
+  return true;
+}
+
+void ReliableTransport::send_standalone_ack(ProcId from, ProcId to,
+                                            std::uint32_t ack) {
+  ReliableHeader h;
+  h.kind = ReliableHeader::kAck;
+  h.src_proc = static_cast<std::uint16_t>(from);
+  h.ack = ack;
+  rt::Message m;
+  m.dst_worker = kInvalidWorker;
+  m.dst_proc_hint = to;
+  m.expedited = true;
+  m.payload = util::PayloadPool::global().acquire(sizeof h);
+  std::memcpy(m.payload.data(), &h, sizeof h);
+  acks_sent_.fetch_add(1, std::memory_order_relaxed);
+  inner_->send(from, std::move(m));
+}
+
+std::size_t ReliableTransport::poll(rt::Process& proc) {
+  const std::size_t delivered = inner_->poll(proc);
+  // Nothing unacked and no ack owed anywhere: the channel scan below
+  // would find no work — two atomic loads instead of O(procs) locks on
+  // every idle pump iteration. A stale read only defers the scan to the
+  // next poll.
+  if (unacked_total_.load(std::memory_order_acquire) == 0 &&
+      owed_acks_total_.load(std::memory_order_acquire) == 0) {
+    return delivered;
+  }
+  const ProcId p = proc.id();
+  const std::uint64_t now = util::now_ns();
+  // Once the machine is stopping, any ack still owed is redundant (its
+  // data is already acked — in_flight() was zero when QD fired) and the
+  // peer's pump may already have exited; sending it would strand a packet
+  // in an undrained ingress queue.
+  const bool stopping = machine_.stopping();
+  for (ProcId d = 0; d < procs_; ++d) {
+    if (d == p) continue;
+    // Head-of-line retransmit probe on the outbound channel (p -> d).
+    Channel& out = ch(p, d);
+    rt::Message probe;
+    bool send_probe = false;
+    {
+      std::lock_guard<util::Spinlock> g(out.mu);
+      if (!out.unacked.empty() && now >= out.probe_deadline_ns) {
+        probe = out.unacked.front().msg;  // shares the framed slab
+        out.probe_deadline_ns = now + rto_ns_;
+        send_probe = true;
+      }
+    }
+    if (send_probe) {
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      inner_->send(p, std::move(probe));
+    }
+    if (stopping) continue;
+    // Standalone ack owed on the inbound channel (d -> p) once the
+    // piggyback window has lapsed.
+    Channel& in = ch(d, p);
+    std::uint32_t ack = 0;
+    bool send_ack = false;
+    {
+      std::lock_guard<util::Spinlock> g(in.mu);
+      if (in.owes_ack && now >= in.ack_deadline_ns) {
+        in.owes_ack = false;
+        in.ack_deadline_ns = 0;
+        owed_acks_total_.fetch_sub(1, std::memory_order_acq_rel);
+        ack = in.cum;
+        send_ack = true;
+      }
+    }
+    if (send_ack) send_standalone_ack(p, d, ack);
+  }
+  return delivered;
+}
+
+std::uint64_t ReliableTransport::next_due_ns(ProcId p) const {
+  std::uint64_t due = inner_->next_due_ns(p);
+  if (unacked_total_.load(std::memory_order_acquire) == 0 &&
+      owed_acks_total_.load(std::memory_order_acquire) == 0) {
+    return due;
+  }
+  const bool stopping = machine_.stopping();
+  for (ProcId d = 0; d < procs_; ++d) {
+    if (d == p) continue;
+    {
+      const Channel& out = ch(p, d);
+      std::lock_guard<util::Spinlock> g(out.mu);
+      if (!out.unacked.empty()) due = min_due(due, out.probe_deadline_ns);
+    }
+    if (stopping) continue;
+    const Channel& in = ch(d, p);
+    std::lock_guard<util::Spinlock> g(in.mu);
+    if (in.owes_ack) due = min_due(due, in.ack_deadline_ns);
+  }
+  return due;
+}
+
+std::uint64_t ReliableTransport::in_flight() const {
+  // Sent-but-unacked messages may need re-shipping: the machine is not
+  // quiescent until every one is confirmed delivered.
+  return unacked_total_.load(std::memory_order_acquire) +
+         inner_->in_flight();
+}
+
+std::uint64_t ReliableTransport::total_messages() const {
+  return inner_->total_messages();
+}
+
+std::uint64_t ReliableTransport::total_bytes() const {
+  return inner_->total_bytes();
+}
+
+std::uint64_t ReliableTransport::total_forwarded() const {
+  return inner_->total_forwarded();
+}
+
+void ReliableTransport::reset() {
+  const std::size_t n = static_cast<std::size_t>(procs_) *
+                        static_cast<std::size_t>(procs_);
+  for (std::size_t i = 0; i < n; ++i) {
+    Channel& c = ch_[i];
+    std::lock_guard<util::Spinlock> g(c.mu);
+    c.next_seq = 0;
+    c.unacked.clear();
+    c.probe_deadline_ns = 0;
+    c.cum = 0;
+    c.ooo.clear();
+    c.owes_ack = false;
+    c.ack_deadline_ns = 0;
+  }
+  unacked_total_.store(0, std::memory_order_relaxed);
+  owed_acks_total_.store(0, std::memory_order_relaxed);
+  retransmits_.store(0, std::memory_order_relaxed);
+  dup_drops_.store(0, std::memory_order_relaxed);
+  acks_sent_.store(0, std::memory_order_relaxed);
+  inner_->reset();
+}
+
+}  // namespace tram::fault

@@ -1,0 +1,136 @@
+#pragma once
+///
+/// \file reliable_transport.hpp
+/// \brief Exactly-once delivery over a faulty transport.
+///
+/// The protocol, per directed (src, dst) process channel:
+///
+///  - send: stamp a ReliableHeader — a fresh per-channel sequence number
+///    plus the cumulative ack of the reverse channel (piggybacking) — in
+///    front of the payload, keep the framed slab (refcounted, no copy) in
+///    the channel's retransmit queue, and hand the message to the faulty
+///    layer below.
+///  - receive (DeliveryInterceptor::on_inbound, below every transport's
+///    delivery tail): apply the piggybacked ack to the reverse channel's
+///    retransmit queue; dedup the data sequence number against the
+///    cumulative counter + out-of-order window (a duplicate is counted
+///    and consumed); strip the header (zero-copy subref) and deliver.
+///  - retransmit: one head-of-line probe per channel per timeout — the
+///    cumulative ack advances past every delivered sequence once the
+///    lowest missing one lands, so probing the head alone recovers any
+///    loss pattern without retransmit storms.
+///  - ack: piggybacked on all reverse traffic; when none shows up within
+///    ack_delay the receiver's pump thread sends a standalone kAck that
+///    the peer's interceptor consumes. Duplicates re-arm the ack so a
+///    lost ack is always replaced.
+///
+/// Quiescence integration: in_flight() adds the count of sent-but-unacked
+/// data messages to the inner transport's, so the machine cannot declare
+/// quiescence while a dropped packet still needs re-shipping — and must
+/// wait for the final acks, which the idle pump threads' poll() calls
+/// provide. All channel state is spinlocked: under the inline transport
+/// deliveries (and thus ack processing) run on the *sender's* thread, so
+/// a channel's two ends can be touched concurrently.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "fault/fault_config.hpp"
+#include "fault/reliable_wire.hpp"
+#include "runtime/transport.hpp"
+#include "util/spinlock.hpp"
+
+namespace tram::fault {
+
+class ReliableTransport final : public rt::Transport,
+                                public rt::DeliveryInterceptor {
+ public:
+  ReliableTransport(rt::Machine& machine,
+                    std::unique_ptr<rt::Transport> inner, FaultConfig cfg);
+
+  // -- rt::Transport --
+  void send(ProcId src_proc, rt::Message&& m) override;
+  std::size_t poll(rt::Process& proc) override;
+  std::uint64_t next_due_ns(ProcId p) const override;
+  std::uint64_t in_flight() const override;
+  std::uint64_t total_messages() const override;
+  std::uint64_t total_bytes() const override;
+  std::uint64_t total_forwarded() const override;
+  void reset() override;
+
+  // -- rt::DeliveryInterceptor --
+  bool on_inbound(rt::Process& proc, rt::Message& m) override;
+
+  /// Effective retransmit timeout (cfg.rto_ns, or derived from the cost
+  /// model when 0).
+  std::uint64_t rto_ns() const noexcept { return rto_ns_; }
+  std::uint64_t ack_delay_ns() const noexcept { return ack_delay_ns_; }
+
+  /// Reliability counters (tram_stats' FaultStats block).
+  std::uint64_t retransmits() const noexcept {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dup_drops() const noexcept {
+    return dup_drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t acks_sent() const noexcept {
+    return acks_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// A sent-but-unacked data message, held for retransmission. msg shares
+  /// the framed payload slab with the copy in flight.
+  struct SendEntry {
+    std::uint32_t seq = 0;
+    rt::Message msg;
+  };
+
+  /// One directed channel. Sender-side fields are driven by the source's
+  /// pump thread (plus ack application, which under the inline transport
+  /// runs on the peer's thread); receiver-side fields by whichever thread
+  /// delivers — hence the lock.
+  struct Channel {
+    mutable util::Spinlock mu;
+    // Sender side.
+    std::uint32_t next_seq = 0;
+    std::deque<SendEntry> unacked;
+    std::uint64_t probe_deadline_ns = 0;
+    // Receiver side.
+    std::uint32_t cum = 0;  ///< next expected sequence number
+    std::set<std::uint32_t> ooo;  ///< received out of order, >= cum
+    bool owes_ack = false;
+    std::uint64_t ack_deadline_ns = 0;
+  };
+
+  Channel& ch(ProcId s, ProcId d) const noexcept {
+    return ch_[static_cast<std::size_t>(s) *
+                   static_cast<std::size_t>(procs_) +
+               static_cast<std::size_t>(d)];
+  }
+
+  /// Pop every entry the cumulative ack covers off (data_src -> data_dst)'s
+  /// retransmit queue.
+  void apply_ack(ProcId data_src, ProcId data_dst, std::uint32_t ack);
+  void send_standalone_ack(ProcId from, ProcId to, std::uint32_t ack);
+
+  rt::Machine& machine_;
+  std::unique_ptr<rt::Transport> inner_;
+  const int procs_;
+  std::uint64_t rto_ns_ = 0;
+  std::uint64_t ack_delay_ns_ = 0;
+  std::unique_ptr<Channel[]> ch_;
+  std::atomic<std::uint64_t> unacked_total_{0};
+  /// Channels currently owing a standalone ack. Together with
+  /// unacked_total_ this gates poll()/next_due_ns()'s channel scan: an
+  /// idle machine pays two atomic loads per pump iteration, not
+  /// O(procs) spinlocks.
+  std::atomic<std::uint64_t> owed_acks_total_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> dup_drops_{0};
+  std::atomic<std::uint64_t> acks_sent_{0};
+};
+
+}  // namespace tram::fault

@@ -1,0 +1,73 @@
+#pragma once
+///
+/// \file reliable_wire.hpp
+/// \brief On-the-wire framing of the reliability protocol.
+///
+/// When fault injection is on, every cross-process message — routed or
+/// direct, data or control — is prefixed with a ReliableHeader by
+/// ReliableTransport::send. The receiver-side interceptor parses it,
+/// applies the piggybacked cumulative ack, dedups data sequence numbers,
+/// and strips the header (a zero-copy subref of the same slab) before the
+/// message reaches its endpoint — the layers above never see the frame.
+///
+/// Sixteen bytes, a multiple of alignof(WireEntry) (8), so routed/WsP
+/// entries behind the stripped header still decode aligned in place.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+namespace tram::fault {
+
+struct ReliableHeader {
+  /// Guards against an unframed payload landing on the reliable path (or
+  /// a framed one escaping it).
+  std::uint32_t magic = kMagic;
+  /// kData carries an application payload behind the header; kAck is a
+  /// standalone cumulative ack the interceptor consumes.
+  std::uint8_t kind = kData;
+  std::uint8_t flags = 0;
+  /// Source process of this message: names the (src, dst) channel the
+  /// sequence number below lives on.
+  std::uint16_t src_proc = 0;
+  /// kData: per-(src, dst) channel sequence number, assigned at first
+  /// send and reused verbatim by every retransmit of the same payload.
+  std::uint32_t seq = 0;
+  /// Cumulative ack for the reverse channel (dst -> src): every sequence
+  /// number serially before this value has been received. Piggybacked on
+  /// all traffic; monotonic, so stale values are harmless.
+  std::uint32_t ack = 0;
+
+  static constexpr std::uint32_t kMagic = 0x52454c59;  // "RELY"
+  static constexpr std::uint8_t kData = 1;
+  static constexpr std::uint8_t kAck = 2;
+};
+static_assert(sizeof(ReliableHeader) == 16);
+static_assert(sizeof(ReliableHeader) % 8 == 0);
+
+/// Parse and validate a reliable message prefix. Truncation, an unknown
+/// magic, or an unknown kind is wire corruption, not a recoverable
+/// condition — abort in every build mode (mirrors parse_routed_header).
+inline ReliableHeader parse_reliable_header(
+    std::span<const std::byte> bytes) {
+  ReliableHeader h;
+  if (bytes.size() < sizeof h) {
+    std::fprintf(stderr, "reliable message truncated (%zu bytes)\n",
+                 bytes.size());
+    std::abort();
+  }
+  std::memcpy(&h, bytes.data(), sizeof h);
+  if (h.magic != ReliableHeader::kMagic) {
+    std::fprintf(stderr, "reliable message with bad magic %x\n", h.magic);
+    std::abort();
+  }
+  if (h.kind != ReliableHeader::kData && h.kind != ReliableHeader::kAck) {
+    std::fprintf(stderr, "reliable message with unknown kind %u\n", h.kind);
+    std::abort();
+  }
+  return h;
+}
+
+}  // namespace tram::fault

@@ -33,6 +33,18 @@
 /// (routed_hop_msgs / routed_forward_msgs / routed_forwarded_items) make
 /// that trade measurable.
 ///
+/// Hop accounting under a lossy fabric (cfg.fault, src/fault/): the
+/// multi-hop path multiplies the state in flight — every intermediate
+/// holds live buffers a direct scheme never had — but the domain itself
+/// needs no loss-awareness. The reliability layer below dedups
+/// retransmitted hop batches before they reach on_routed (a replayed
+/// batch would otherwise re-bucket its entries twice and double-deliver),
+/// and its unacked count extends quiescence detection, so a dropped hop
+/// message keeps pending_/QD honest until its retransmit lands. Worker
+/// stats here (routed_hop_msgs, routed_forwarded_items, ...) count each
+/// ship once at ship time; transport-level retransmits appear only in
+/// fabric message totals and core::FaultStats.
+///
 /// Urgent items (insert_priority, cfg.priority_buffer_items > 0) ride a
 /// parallel set of small per-dimension slots shipped expedited with the
 /// RoutedHeader::kPriority bit set: intermediates re-bucket them into

@@ -63,8 +63,12 @@ void CommThread::run() {
       if (due > now) {
         const std::uint64_t gap = due - now;
         if (gap > 15'000) {
-          std::this_thread::sleep_for(
-              std::chrono::nanoseconds(gap - 10'000));
+          // Cap the blind sleep: egress rings are not drained while we
+          // sleep, and reliability-layer deadlines (retransmit probes,
+          // delayed acks — src/fault/) sit hundreds of microseconds out,
+          // far past the fabric's usual arrival horizon.
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              std::min<std::uint64_t>(gap - 10'000, 100'000)));
         } else {
           util::spin_for_ns(std::min<std::uint64_t>(gap, 2'000));
         }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_config.hpp"
 #include "net/cost_model.hpp"
 
 namespace tram::rt {
@@ -26,6 +27,13 @@ struct RuntimeConfig {
 
   /// Transport implementation carrying cross-process messages.
   TransportKind transport = TransportKind::kModeledFabric;
+
+  /// Fault injection (src/fault/). All-zero (the default) leaves the
+  /// transport above exactly as selected — no decorators, no reliability
+  /// headers, no per-message cost. Any nonzero knob wraps it in the
+  /// FaultyTransport + ReliableTransport pair, which injects the faults
+  /// and restores exactly-once delivery on top of them.
+  fault::FaultConfig fault;
 
   /// Comm-thread occupancy per message sent / received, nanoseconds. This
   /// models the paper's section III-A finding: the dedicated comm thread

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/tram_stats.hpp"
+#include "fault/faulty_transport.hpp"
+#include "fault/reliable_transport.hpp"
 #include "runtime/comm_thread.hpp"
 #include "runtime/transport.hpp"
 #include "util/timebase.hpp"
@@ -16,13 +19,29 @@ Machine::Machine(util::Topology topo, RuntimeConfig cfg)
     throw std::invalid_argument(
         "non-SMP mode (dedicated_comm=false) requires workers_per_proc==1");
   }
+  std::unique_ptr<Transport> base;
   switch (cfg_.transport) {
     case TransportKind::kModeledFabric:
-      transport_ = std::make_unique<ModeledFabricTransport>(*this, fabric_);
+      base = std::make_unique<ModeledFabricTransport>(*this, fabric_);
       break;
     case TransportKind::kInline:
-      transport_ = std::make_unique<InlineTransport>(*this);
+      base = std::make_unique<InlineTransport>(*this);
       break;
+  }
+  if (cfg_.fault.enabled()) {
+    // Faults and the recovery protocol install together: a lossy fabric
+    // without reliability would hang quiescence on the first drop.
+    cfg_.fault.validate();
+    auto faulty = std::make_unique<fault::FaultyTransport>(
+        *this, std::move(base), cfg_.fault);
+    faulty_ = faulty.get();
+    auto reliable = std::make_unique<fault::ReliableTransport>(
+        *this, std::move(faulty), cfg_.fault);
+    reliable_ = reliable.get();
+    interceptor_ = reliable_;
+    transport_ = std::move(reliable);
+  } else {
+    transport_ = std::move(base);
   }
   procs_.reserve(static_cast<std::size_t>(topo_.procs()));
   for (ProcId p = 0; p < topo_.procs(); ++p) {
@@ -39,6 +58,21 @@ EndpointId Machine::register_endpoint(Handler h) {
     throw std::logic_error("register_endpoint while machine is running");
   }
   return endpoints_.add(std::move(h));
+}
+
+core::FaultStats Machine::fault_stats() const {
+  core::FaultStats s;
+  if (faulty_ != nullptr) {
+    s.faults_injected_drop = faulty_->drops_injected();
+    s.faults_injected_dup = faulty_->dups_injected();
+    s.faults_injected_delay = faulty_->delays_injected();
+  }
+  if (reliable_ != nullptr) {
+    s.retransmits = reliable_->retransmits();
+    s.dup_drops = reliable_->dup_drops();
+    s.acks_sent = reliable_->acks_sent();
+  }
+  return s;
 }
 
 Worker& Machine::worker(WorkerId w) {

@@ -37,8 +37,17 @@
 #include "runtime/worker.hpp"
 #include "util/topology.hpp"
 
+namespace tram::core {
+struct FaultStats;
+}
+namespace tram::fault {
+class FaultyTransport;
+class ReliableTransport;
+}
+
 namespace tram::rt {
 
+class DeliveryInterceptor;
 class Transport;
 
 class Machine {
@@ -55,8 +64,25 @@ class Machine {
   /// transport; idle under kInline).
   net::Fabric& fabric() noexcept { return fabric_; }
   /// The transport carrying all cross-process traffic (see transport.hpp).
+  /// With cfg.fault enabled this is the reliability decorator chain;
+  /// otherwise exactly the base transport.
   Transport& transport() noexcept { return *transport_; }
   EndpointRegistry& endpoints() noexcept { return endpoints_; }
+
+  /// The fault-injection / reliability layers, or nullptr when
+  /// cfg.fault is all-zero (the undecorated fast path).
+  fault::FaultyTransport* fault_layer() const noexcept { return faulty_; }
+  fault::ReliableTransport* reliability() const noexcept {
+    return reliable_;
+  }
+  /// Hook the transports' delivery tail runs inbound messages through
+  /// (see DeliveryInterceptor); nullptr when fault injection is off.
+  DeliveryInterceptor* delivery_interceptor() const noexcept {
+    return interceptor_;
+  }
+  /// Merged fault/reliability counters — all zero when fault injection
+  /// is off.
+  core::FaultStats fault_stats() const;
 
   /// Register a message handler on all processes. Only before run().
   EndpointId register_endpoint(Handler h);
@@ -118,6 +144,11 @@ class Machine {
   RuntimeConfig cfg_;
   net::Fabric fabric_;
   std::unique_ptr<Transport> transport_;
+  /// Non-owning views into the decorator chain held by transport_
+  /// (nullptr when fault injection is off).
+  fault::FaultyTransport* faulty_ = nullptr;
+  fault::ReliableTransport* reliable_ = nullptr;
+  DeliveryInterceptor* interceptor_ = nullptr;
   EndpointRegistry endpoints_;
   std::vector<std::unique_ptr<Process>> procs_;
 

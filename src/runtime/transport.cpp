@@ -13,20 +13,20 @@
 namespace tram::rt {
 
 void deliver_to_process(Machine& machine, Process& proc, Message&& m) {
+  // One predictable branch on the fault-free path; the reliability layer
+  // (src/fault/) dedups and strips its frame here when installed.
+  if (DeliveryInterceptor* icpt = machine.delivery_interceptor()) {
+    if (!icpt->on_inbound(proc, m)) return;
+  }
   proc.worker(machine.topology().local_rank(m.dst_worker))
       .enqueue(std::move(m));
 }
 
-namespace {
-
-/// Resolve a message's destination process (direct or process-addressed).
-ProcId dst_proc_of(const Machine& machine, const Message& m) {
+ProcId message_dst_proc(const Machine& machine, const Message& m) {
   return m.dst_worker == kInvalidWorker
              ? m.dst_proc_hint
              : machine.topology().proc_of_worker(m.dst_worker);
 }
-
-}  // namespace
 
 // ---- ModeledFabricTransport ----
 
@@ -54,7 +54,7 @@ void ModeledFabricTransport::send(ProcId src_proc, Message&& m) {
 
   net::Packet p;
   p.src_proc = src_proc;
-  p.dst_proc = dst_proc_of(machine_, m);
+  p.dst_proc = message_dst_proc(machine_, m);
   p.dst_worker = m.dst_worker;
   p.src_worker = m.src_worker;
   p.endpoint = m.endpoint;
@@ -132,7 +132,7 @@ void ModeledFabricTransport::reset() {
 InlineTransport::InlineTransport(Machine& machine) : machine_(machine) {}
 
 void InlineTransport::send(ProcId /*src_proc*/, Message&& m) {
-  const ProcId dst = dst_proc_of(machine_, m);
+  const ProcId dst = message_dst_proc(machine_, m);
   if (dst < 0 || dst >= machine_.topology().procs()) {
     throw std::out_of_range("InlineTransport::send: bad dst_proc");
   }

@@ -77,9 +77,28 @@ class Transport {
   virtual void reset() = 0;
 };
 
-/// Shared delivery tail: enqueue a routed message into its destination
-/// worker's inbox. m.dst_worker must already be concrete.
+/// Hook between a transport's delivery tail and the worker inbox. The
+/// reliability layer (src/fault/) implements it to dedup retransmitted
+/// data, record acks, and consume protocol control traffic before a
+/// message is enqueued; when no interceptor is installed (the default,
+/// fault injection off) the delivery tail is exactly what it was.
+class DeliveryInterceptor {
+ public:
+  virtual ~DeliveryInterceptor() = default;
+  /// Inspect (and possibly rewrite, e.g. strip a frame off) an inbound
+  /// message before it is enqueued. Runs on the delivering transport's
+  /// thread. Return false to consume the message — a duplicate or a
+  /// control message that must not reach an endpoint handler.
+  virtual bool on_inbound(Process& proc, Message& m) = 0;
+};
+
+/// Shared delivery tail: run the machine's delivery interceptor (if any),
+/// then enqueue the message into its destination worker's inbox.
+/// m.dst_worker must already be concrete.
 void deliver_to_process(Machine& machine, Process& proc, Message&& m);
+
+/// Resolve a message's destination process (direct or process-addressed).
+ProcId message_dst_proc(const Machine& machine, const Message& m);
 
 /// The cost-model path: fabric injection with per-node NIC serialization,
 /// modeled arrival times, and a destination-side reorder heap.
