@@ -155,6 +155,10 @@ struct JsonRow {
   std::uint64_t forwarded = 0;  // messages re-shipped by intermediates
   std::uint64_t sorted = 0;     // pre-sorted last-hop (fast path) messages
   std::uint64_t subviews = 0;   // final-hop segments handed on zero-copy
+  /// Forwarded bytes memcpy'd into intermediate slot buffers (0 on the
+  /// wpp==1 zero-copy path) vs. staged as refcounted sub-views.
+  std::uint64_t fwd_copy_bytes = 0;
+  std::uint64_t fwd_subview_bytes = 0;
   std::uint64_t max_buffers = 0;  // live source buffers, worst worker
   /// Fault/reliability counters (src/fault/); all zero when the run was
   /// fault-free.
@@ -171,6 +175,8 @@ struct RoutedRowCounters {
   std::uint64_t forwarded_messages = 0;
   std::uint64_t sorted_messages = 0;
   std::uint64_t subview_deliveries = 0;
+  std::uint64_t fwd_copy_bytes = 0;
+  std::uint64_t fwd_subview_bytes = 0;
   std::uint64_t max_reserved_buffers = 0;
   core::FaultStats faults;
 };
@@ -187,6 +193,8 @@ RoutedRowCounters routed_counters_from(const Point& p, double ns_per_item) {
   c.forwarded_messages = p.forwarded_messages;
   c.sorted_messages = p.sorted_messages;
   c.subview_deliveries = p.subview_deliveries;
+  c.fwd_copy_bytes = p.fwd_copy_bytes;
+  c.fwd_subview_bytes = p.fwd_subview_bytes;
   c.max_reserved_buffers = p.max_reserved_buffers;
   c.faults = p.faults;
   return c;
@@ -207,6 +215,8 @@ inline JsonRow make_routed_row(const std::string& scheme,
   row.forwarded = c.forwarded_messages;
   row.sorted = c.sorted_messages;
   row.subviews = c.subview_deliveries;
+  row.fwd_copy_bytes = c.fwd_copy_bytes;
+  row.fwd_subview_bytes = c.fwd_subview_bytes;
   row.max_buffers = c.max_reserved_buffers;
   row.faults = c.faults;
   row.verified = verified;
@@ -237,7 +247,10 @@ class JsonReporter {
                    "\"mesh\": \"%s\", \"ns_per_item\": %.2f, "
                    "\"messages\": %llu, \"bytes\": %llu, "
                    "\"forwarded\": %llu, \"sorted\": %llu, "
-                   "\"subviews\": %llu, \"max_buffers\": %llu, "
+                   "\"subviews\": %llu, "
+                   "\"fwd_copy_bytes\": %llu, "
+                   "\"fwd_subview_bytes\": %llu, "
+                   "\"max_buffers\": %llu, "
                    "\"faults_injected_drop\": %llu, "
                    "\"faults_injected_dup\": %llu, "
                    "\"faults_injected_delay\": %llu, "
@@ -251,6 +264,8 @@ class JsonReporter {
                    static_cast<unsigned long long>(r.forwarded),
                    static_cast<unsigned long long>(r.sorted),
                    static_cast<unsigned long long>(r.subviews),
+                   static_cast<unsigned long long>(r.fwd_copy_bytes),
+                   static_cast<unsigned long long>(r.fwd_subview_bytes),
                    static_cast<unsigned long long>(r.max_buffers),
                    static_cast<unsigned long long>(
                        r.faults.faults_injected_drop),

@@ -131,6 +131,17 @@ int main(int argc, char** argv) {
                     direct.sorted_messages == 0,
                 "routed last hops ship pre-sorted (zero-copy scatter fast "
                 "path)");
+  // End-to-end zero-copy forwarding: this sweep runs one worker per
+  // process, so every intermediate forward must ride as a sub-view of the
+  // inbound (or rebucket-scratch) slab — not a byte copied into a slot
+  // buffer — and at the multi-hop scales the sub-view share is the whole
+  // forwarded volume.
+  shapes.expect(mesh2d.fwd_copy_bytes == 0 && mesh3d.fwd_copy_bytes == 0,
+                "wpp==1 intermediates forward without copying into slot "
+                "buffers at the largest scale");
+  shapes.expect(mesh3d.fwd_subview_bytes > 0,
+                "3-D mesh forwards ride as refcounted sub-views at the "
+                "largest scale");
 
   if (fault.any()) {
     // A lossy sweep must actually have been lossy — and recovered. The

@@ -35,6 +35,8 @@ struct PholdPoint {
   std::uint64_t forwarded_messages = 0;
   std::uint64_t sorted_messages = 0;
   std::uint64_t subview_deliveries = 0;
+  std::uint64_t fwd_copy_bytes = 0;
+  std::uint64_t fwd_subview_bytes = 0;
   std::uint64_t fabric_messages = 0;
   std::uint64_t fabric_bytes = 0;
   std::uint64_t max_reserved_buffers = 0;
@@ -67,6 +69,8 @@ PholdPoint run_phold(const util::Topology& topo,
     point.forwarded_messages = res.run.forwarded_messages;
     point.sorted_messages = res.tram.routed_sorted_msgs;
     point.subview_deliveries = res.tram.routed_subview_deliveries;
+    point.fwd_copy_bytes = res.tram.routed_forward_copy_bytes;
+    point.fwd_subview_bytes = res.tram.routed_forward_subview_bytes;
     point.fabric_messages = res.run.fabric_messages;
     point.fabric_bytes = res.run.fabric_bytes;
     point.max_reserved_buffers = res.max_reserved_buffers;

@@ -22,6 +22,11 @@ struct HistoPoint {
   std::uint64_t sorted_messages = 0;
   /// Final-hop segments handed on as refcounted sub-views (0 direct).
   std::uint64_t subview_deliveries = 0;
+  /// Forwarded bytes copied into intermediate slot buffers vs. staged as
+  /// sub-views of the inbound/scratch slab (both 0 for direct schemes;
+  /// copy is 0 with one worker per process — the zero-copy claim).
+  std::uint64_t fwd_copy_bytes = 0;
+  std::uint64_t fwd_subview_bytes = 0;
   /// Live source-side buffers on the worst worker (O(N) direct,
   /// O(d*N^(1/d)) routed).
   std::uint64_t max_reserved_buffers = 0;
@@ -55,6 +60,8 @@ inline HistoPoint run_histogram(const util::Topology& topo,
     point.forwarded_messages = res.run.forwarded_messages;
     point.sorted_messages = res.tram.routed_sorted_msgs;
     point.subview_deliveries = res.tram.routed_subview_deliveries;
+    point.fwd_copy_bytes = res.tram.routed_forward_copy_bytes;
+    point.fwd_subview_bytes = res.tram.routed_forward_subview_bytes;
     point.max_reserved_buffers = res.max_reserved_buffers;
     point.mean_occupancy = res.tram.occupancy_at_ship.mean();
     point.faults = machine.fault_stats();

@@ -24,6 +24,8 @@ struct SsspPoint {
   std::uint64_t forwarded_messages = 0;
   std::uint64_t sorted_messages = 0;
   std::uint64_t subview_deliveries = 0;
+  std::uint64_t fwd_copy_bytes = 0;
+  std::uint64_t fwd_subview_bytes = 0;
   std::uint64_t priority_messages = 0;
   std::uint64_t max_reserved_buffers = 0;
   std::uint64_t fabric_messages = 0;
@@ -65,6 +67,8 @@ inline SsspPoint run_sssp(const graph::Csr& g, const util::Topology& topo,
     point.forwarded_messages = res.run.forwarded_messages;
     point.sorted_messages = res.tram.routed_sorted_msgs;
     point.subview_deliveries = res.tram.routed_subview_deliveries;
+    point.fwd_copy_bytes = res.tram.routed_forward_copy_bytes;
+    point.fwd_subview_bytes = res.tram.routed_forward_subview_bytes;
     point.priority_messages = res.tram.priority_msgs;
     point.max_reserved_buffers = res.max_reserved_buffers;
     point.fabric_messages = res.run.fabric_messages;

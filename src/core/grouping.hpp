@@ -27,6 +27,46 @@ namespace tram::core {
 /// segment walk. `rank_of` maps a WireEntry destination worker to its
 /// local rank in [0, t). A single-worker process degenerates to one
 /// segment and a straight copy.
+/// In-place variant: permute `data` into rank-grouped order (american-flag
+/// counting sort) and fill `header.counts`. Same wire layout as
+/// counting_sort_segments but no destination buffer — the routed last-hop
+/// ship uses it to sort the slot's own slab and ship it by moving the
+/// handle, removing the sort's copy-into-fresh-slab. O(n) swaps: every
+/// swap retires one element into its final segment.
+template <typename Entry, typename RankFn>
+void permute_sort_segments(Entry* data, std::size_t n, int t,
+                           RankFn&& rank_of, SegmentHeader& header) {
+  if (t == 1) {
+    header.counts[0] = static_cast<std::uint32_t>(n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    header.counts[rank_of(data[i].dest)]++;
+  }
+  // next[r] = first unplaced position of segment r; end[r] = one past it.
+  std::uint32_t next[kMaxLocalWorkers];
+  std::uint32_t end[kMaxLocalWorkers];
+  std::uint32_t acc = 0;
+  for (int r = 0; r < t; ++r) {
+    next[r] = acc;
+    acc += header.counts[r];
+    end[r] = acc;
+  }
+  for (int r = 0; r < t; ++r) {
+    while (next[r] < end[r]) {
+      const int b = rank_of(data[next[r]].dest);
+      if (b == r) {
+        ++next[r];
+      } else {
+        Entry tmp = data[next[r]];
+        data[next[r]] = data[next[b]];
+        data[next[b]] = tmp;
+        ++next[b];
+      }
+    }
+  }
+}
+
 template <typename Entry, typename RankFn>
 void counting_sort_segments(std::span<const Entry> src, int t,
                             RankFn&& rank_of, SegmentHeader& header,

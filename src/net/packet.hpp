@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "util/payload_pool.hpp"
 #include "util/types.hpp"
@@ -40,10 +41,16 @@ struct Packet {
   /// Time the packet was handed to the fabric (for fabric-level stats).
   std::uint64_t send_ns = 0;
   util::PayloadRef payload;
+  /// Additional payload extents (see rt::Message::extras): logically
+  /// concatenated after `payload`. The fabric treats them as wire bytes; a
+  /// real NIC would gather-send the iovec.
+  std::vector<util::PayloadRef> extras;
 
   std::size_t wire_bytes() const noexcept {
     // Payload plus a fixed header charge, mirroring a real transport.
-    return payload.size() + kHeaderBytes;
+    std::size_t n = payload.size() + kHeaderBytes;
+    for (const auto& e : extras) n += e.size();
+    return n;
   }
   static constexpr std::size_t kHeaderBytes = 32;
 };

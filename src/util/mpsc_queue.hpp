@@ -11,17 +11,27 @@
 /// producer is between exchange and store; `try_pop` treats this as "empty",
 /// which is safe because the producer completes promptly and the caller
 /// polls.
+///
+/// Memory orders: the producer's exchange(acq_rel) + store(release) and the
+/// consumer's load(acquire) on `next` are the load-bearing pair (they
+/// publish the node's value). empty_approx() is an advisory idle heuristic
+/// whose result is stale the instant it returns, so its load is relaxed;
+/// pop_count is a single-writer monotone counter read under quiescence
+/// windows, also relaxed. Both relaxations are exercised by util_sync_test
+/// under the DebugSync deterministic scheduler.
 
 #include <atomic>
 #include <cstddef>
 #include <optional>
 #include <utility>
 
+#include "util/sync.hpp"
+
 namespace tram::util {
 
 /// Unbounded MPSC FIFO (per-producer FIFO, global order unspecified).
 /// T must be movable. pop() must only be called from one consumer thread.
-template <typename T>
+template <typename T, typename Sync = DefaultSync>
 class MpscQueue {
  public:
   MpscQueue() {
@@ -66,8 +76,10 @@ class MpscQueue {
 
   /// True when the queue looks empty to the consumer. Producers racing with
   /// this call may make it stale immediately; use only for idle heuristics.
+  /// Relaxed: the caller acts on the *value* only (poll again / go idle),
+  /// never on memory published by the racing push, so no ordering is needed.
   bool empty_approx() const {
-    return tail_->next.load(std::memory_order_acquire) == nullptr;
+    return tail_->next.load(std::memory_order_relaxed) == nullptr;
   }
 
   /// Total elements ever popped (consumer-side monotone counter, used by
@@ -80,13 +92,13 @@ class MpscQueue {
   struct Node {
     Node() = default;
     explicit Node(T&& v) : value(std::move(v)) {}
-    std::atomic<Node*> next{nullptr};
+    typename Sync::template Atomic<Node*> next{nullptr};
     T value{};
   };
 
-  alignas(64) std::atomic<Node*> head_;  // producers push here
-  alignas(64) Node* tail_;               // consumer pops here
-  std::atomic<std::size_t> pop_count_{0};
+  alignas(64) typename Sync::template Atomic<Node*> head_;  // producers
+  alignas(64) Node* tail_;                                  // consumer
+  typename Sync::template Atomic<std::size_t> pop_count_{0};
 };
 
 }  // namespace tram::util

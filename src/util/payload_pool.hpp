@@ -38,6 +38,7 @@
 #include <span>
 
 #include "util/spinlock.hpp"
+#include "util/sync.hpp"
 
 namespace tram::util {
 
@@ -49,7 +50,10 @@ namespace detail {
 /// the payload starts 64-byte aligned (sound for any trivially-copyable
 /// wire entry type).
 struct alignas(kCacheLine) SlabHeader {
-  std::atomic<std::uint32_t> refs{1};
+  /// Refcount rides the sync seam: under TRAM_SYNC_DEBUG every inc/dec is
+  /// a deterministic-scheduler yield point, which is what licenses the
+  /// relaxed/release orders in PayloadRef below.
+  DefaultSync::Atomic<std::uint32_t> refs{1};
   /// Usable payload bytes following this header.
   std::size_t capacity = 0;
   /// Pool that created this slab (stats + recycling on last release).
@@ -130,11 +134,17 @@ class PayloadRef {
   std::span<const std::byte> span() const noexcept { return {data_, size_}; }
   std::span<std::byte> span() noexcept { return {data_, size_}; }
 
+  /// unique() keeps acquire: callers use it to justify *mutating* the
+  /// buffer (resize's in-place path), so the load must synchronize with
+  /// the release decrement of the last other owner — otherwise the write
+  /// could race that owner's still-unpublished reads.
   bool unique() const noexcept {
     return hdr_ && hdr_->refs.load(std::memory_order_acquire) == 1;
   }
+  /// Relaxed: diagnostic counter for tests/stats; nobody touches buffer
+  /// memory on the strength of this value.
   std::uint32_t use_count() const noexcept {
-    return hdr_ ? hdr_->refs.load(std::memory_order_acquire) : 0;
+    return hdr_ ? hdr_->refs.load(std::memory_order_relaxed) : 0;
   }
 
   /// Set the logical size. Shrinking and growing within capacity() on a
@@ -295,9 +305,24 @@ class PayloadPool {
 
 inline void PayloadRef::release() noexcept {
   if (!hdr_) return;
+  // Classic split refcount-drop: every decrement releases this owner's
+  // accesses, and only the thread that hits zero pays an acquire (as a
+  // fence) to pull in every other owner's accesses before recycling the
+  // slab. Cheaper than acq_rel on all decrements; checked by the
+  // DebugSync interleaving tests. TSan cannot model standalone fences
+  // (gcc warns -Wtsan and reports the recycled slab's next writer as
+  // racing its previous reader), so TSan builds pay acq_rel on every
+  // decrement instead — same ordering, visible to the checker.
+#if defined(__SANITIZE_THREAD__) || defined(TRAM_TSAN_FENCES)
   if (hdr_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     PayloadPool::release_slab(hdr_);
   }
+#else
+  if (hdr_->refs.fetch_sub(1, std::memory_order_release) == 1) {
+    DefaultSync::fence(std::memory_order_acquire);
+    PayloadPool::release_slab(hdr_);
+  }
+#endif
   hdr_ = nullptr;
   data_ = nullptr;
   size_ = 0;

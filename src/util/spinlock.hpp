@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/sync.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -34,11 +36,18 @@ inline void cpu_relax() noexcept {
 /// shared cache line in S state instead of bouncing it in M state; backoff
 /// caps contention when many workers hit one buffer (the PP scheme's worst
 /// case).
-class Spinlock {
+///
+/// Memory orders (already minimal; the seam exists to *check* them, not to
+/// relax further): exchange(acquire) on the winning path publishes the
+/// critical section's reads, store(release) on unlock publishes its writes,
+/// and the inner wait loop is relaxed because only the eventual exchange
+/// synchronizes.
+template <typename Sync = DefaultSync>
+class BasicSpinlock {
  public:
-  Spinlock() noexcept = default;
-  Spinlock(const Spinlock&) = delete;
-  Spinlock& operator=(const Spinlock&) = delete;
+  BasicSpinlock() noexcept = default;
+  BasicSpinlock(const BasicSpinlock&) = delete;
+  BasicSpinlock& operator=(const BasicSpinlock&) = delete;
 
   void lock() noexcept {
     std::uint32_t backoff = 1;
@@ -61,8 +70,12 @@ class Spinlock {
 
  private:
   static constexpr std::uint32_t kMaxBackoff = 64;
-  std::atomic<bool> locked_{false};
+  typename Sync::template Atomic<bool> locked_{false};
 };
+
+/// The runtime's spinlock: shipping orders normally, deterministic-scheduler
+/// instrumented under TRAM_SYNC_DEBUG.
+using Spinlock = BasicSpinlock<>;
 
 /// Pads T to a cache line to prevent false sharing in arrays of hot objects
 /// (per-worker counters, per-destination buffer headers).

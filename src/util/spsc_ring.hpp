@@ -8,6 +8,14 @@
 /// atomic when the cached value says the ring looks full/empty. Used for the
 /// worker -> comm-thread egress channel, which is SPSC by construction (one
 /// worker produces, one comm thread consumes).
+///
+/// Memory orders: each side's publishing store is release and the *refresh*
+/// of the other side's index is acquire — that pair is what makes the slot
+/// contents visible and must not be weakened (the cached-index reload is
+/// exactly the point where one side starts trusting slots the other side
+/// wrote). size_approx()/empty_approx() are advisory (idle heuristics,
+/// pre-run sanity on a quiesced machine) and act only on the returned
+/// count, never on slot memory, so their loads are relaxed.
 
 #include <atomic>
 #include <cstddef>
@@ -16,12 +24,13 @@
 #include <vector>
 
 #include "util/spinlock.hpp"
+#include "util/sync.hpp"
 
 namespace tram::util {
 
 /// Bounded SPSC FIFO. Capacity is rounded up to a power of two.
 /// T must be movable. Not copyable; addresses are stable after construction.
-template <typename T>
+template <typename T, typename Sync = DefaultSync>
 class SpscRing {
  public:
   /// \param capacity minimum number of elements the ring can hold.
@@ -72,10 +81,11 @@ class SpscRing {
     return out;
   }
 
-  /// Approximate occupancy; exact only when quiesced.
+  /// Approximate occupancy; exact only when quiesced. Relaxed loads: the
+  /// count is advisory and no slot memory is touched on its strength.
   std::size_t size_approx() const {
-    const std::size_t head = head_.value.load(std::memory_order_acquire);
-    const std::size_t tail = tail_.value.load(std::memory_order_acquire);
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
     return head - tail;
   }
 
@@ -86,10 +96,10 @@ class SpscRing {
   std::vector<T> slots_;
   std::size_t mask_ = 0;
   // Producer-owned line: head index plus the producer's cached tail.
-  Padded<std::atomic<std::size_t>> head_{};
+  Padded<typename Sync::template Atomic<std::size_t>> head_{};
   alignas(kCacheLine) std::size_t cached_tail_ = 0;
   // Consumer-owned line: tail index plus the consumer's cached head.
-  Padded<std::atomic<std::size_t>> tail_{};
+  Padded<typename Sync::template Atomic<std::size_t>> tail_{};
   alignas(kCacheLine) std::size_t cached_head_ = 0;
 };
 

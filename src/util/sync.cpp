@@ -1,0 +1,132 @@
+#include "util/sync.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace tram::util {
+
+namespace {
+
+/// All scheduler state behind one mutex. Atomic operations in managed
+/// threads are serialized through it, which is the point: exactly one
+/// thread runs between sync points, so every interleaving the RNG picks is
+/// observed in full, and the RNG draw order itself is deterministic.
+struct SchedState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool active = false;
+  int current = -1;           // token holder; -1 = nobody
+  std::vector<bool> done;     // per managed thread
+  std::uint64_t rng = 0;
+  std::uint64_t switch_count = 0;
+  std::uint64_t last_switch_count = 0;
+};
+
+SchedState& state() {
+  static SchedState s;
+  return s;
+}
+
+/// Index of this thread within the current run; -1 for unmanaged threads.
+thread_local int t_index = -1;
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform draw over not-yet-finished threads; -1 when all are done.
+/// Caller holds the state mutex.
+int pick_next(SchedState& s) {
+  int alive = 0;
+  for (std::size_t i = 0; i < s.done.size(); ++i) {
+    if (!s.done[i]) ++alive;
+  }
+  if (alive == 0) return -1;
+  auto k = static_cast<int>(splitmix64(s.rng) % static_cast<unsigned>(alive));
+  for (std::size_t i = 0; i < s.done.size(); ++i) {
+    if (!s.done[i] && k-- == 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void DebugScheduler::run(std::uint64_t seed,
+                         std::vector<std::function<void()>> fns) {
+  SchedState& s = state();
+  const int n = static_cast<int>(fns.size());
+  if (n == 0) return;
+
+  {
+    std::lock_guard<std::mutex> g(s.mu);
+    s.active = true;
+    s.current = -1;
+    s.done.assign(static_cast<std::size_t>(n), false);
+    s.rng = seed;
+    s.switch_count = 0;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&s, i, fn = std::move(fns[static_cast<std::size_t>(
+                                  i)])]() mutable {
+      t_index = i;
+      {
+        // Wait for the token before touching anything.
+        std::unique_lock<std::mutex> lk(s.mu);
+        s.cv.wait(lk, [&] { return s.current == i; });
+      }
+      fn();
+      {
+        std::unique_lock<std::mutex> lk(s.mu);
+        s.done[static_cast<std::size_t>(i)] = true;
+        s.current = pick_next(s);
+        s.cv.notify_all();
+      }
+      t_index = -1;
+    });
+  }
+
+  {
+    // Hand the token to a seeded first thread. The controlling thread
+    // never takes the token itself, so joining below cannot deadlock.
+    std::lock_guard<std::mutex> g(s.mu);
+    s.current = pick_next(s);
+    s.cv.notify_all();
+  }
+  for (auto& t : threads) t.join();
+
+  {
+    std::lock_guard<std::mutex> g(s.mu);
+    s.active = false;
+    s.current = -1;
+    s.last_switch_count = s.switch_count;
+  }
+}
+
+void DebugScheduler::sync_point() {
+  if (t_index < 0) return;  // unmanaged thread (cheap thread-local test)
+  SchedState& s = state();
+  std::unique_lock<std::mutex> lk(s.mu);
+  if (!s.active) return;
+  const int next = pick_next(s);
+  if (next == t_index || next < 0) return;  // keep the token
+  ++s.switch_count;
+  s.current = next;
+  s.cv.notify_all();
+  s.cv.wait(lk, [&] { return s.current == t_index; });
+}
+
+std::uint64_t DebugScheduler::switches() {
+  SchedState& s = state();
+  std::lock_guard<std::mutex> g(s.mu);
+  return s.active ? s.switch_count : s.last_switch_count;
+}
+
+}  // namespace tram::util

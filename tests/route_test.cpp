@@ -221,6 +221,7 @@ struct ExchangeResult {
   core::WorkerTramStats stats;
   rt::Machine::RunResult run;
   std::uint64_t max_reserved = 0;
+  std::uint64_t max_staged = 0;
 };
 
 ExchangeResult run_exchange(core::Scheme scheme, const util::Topology& topo,
@@ -258,6 +259,7 @@ ExchangeResult run_exchange(core::Scheme scheme, const util::Topology& topo,
 
   res.stats = domain.aggregate_stats();
   res.max_reserved = domain.max_reserved_buffers();
+  res.max_staged = domain.max_staged_forward_bytes();
   const std::uint64_t expected_per_worker =
       per_dest * static_cast<std::uint64_t>(W);
   for (int w = 0; w < W; ++w) {
@@ -300,6 +302,42 @@ TEST(RoutedDomain, DeliversExactlyOnceNonSmp) {
   run_exchange(core::Scheme::Mesh3D, topo, fabric);
   run_exchange(core::Scheme::Mesh2D, topo, inline_cfg);
   run_exchange(core::Scheme::Mesh3D, topo, inline_cfg);
+}
+
+/// With one worker per process every routed slot ships its slab whole or
+/// stages forwards as refcounted sub-views: an 8-process Mesh3D exchange
+/// (2x2x2 — items cross up to three hops) must forward without copying a
+/// single byte into an intermediate slot buffer.
+TEST(RoutedDomain, ZeroCopyForwardingNonSmpMesh3D) {
+  auto cfg = rt::RuntimeConfig::testing();
+  cfg.dedicated_comm = false;
+  const util::Topology topo(8, 1, 1);
+  const auto res = run_exchange(core::Scheme::Mesh3D, topo, cfg);
+  EXPECT_GT(res.stats.routed_forwarded_items, 0u);
+  EXPECT_EQ(res.stats.routed_forward_copy_bytes, 0u)
+      << "wpp==1 forwards must all ride as sub-views";
+  EXPECT_GT(res.stats.routed_forward_subview_bytes, 0u);
+  // Sub-views pin their source slabs, but retention is bounded: staged
+  // runs are chunked to at most one fill and a slot ships as soon as
+  // buffered+staged reaches a fill, so each slot holds under two fills.
+  // The high-water mark is handle-wide (summed over the worker's
+  // 1 + sum(dims_k - 1) = 4 live slots on a 2x2x2 mesh).
+  EXPECT_GT(res.max_staged, 0u);
+  EXPECT_LE(res.max_staged,
+            4 * 2ull * 16 * sizeof(core::WireEntry<std::uint64_t>));
+}
+
+/// The SMP build of the same exchange may copy at final-dimension slots
+/// (the permuted ship owns its slab) but nowhere else: every non-final
+/// forward still rides as a sub-view, and rebucket's residual counting
+/// sort only runs when an inbound extent mixes buckets.
+TEST(RoutedDomain, SubViewForwardingDominatesSmpMesh3D) {
+  // 8 processes x 2 workers: a 2x2x2 mesh whose middle-dimension forwards
+  // are non-final and must stage as sub-views even in SMP mode.
+  const auto res = run_exchange(core::Scheme::Mesh3D,
+                                util::Topology(4, 2, 2),
+                                rt::RuntimeConfig::testing());
+  EXPECT_GT(res.stats.routed_forward_subview_bytes, 0u);
 }
 
 TEST(RoutedDomain, ExplicitDimsHonored) {
