@@ -29,6 +29,7 @@
 #include "fault/fault_config.hpp"
 #include "net/cost_model.hpp"
 #include "runtime/config.hpp"
+#include "runtime/machine.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -104,6 +105,25 @@ inline bool resolve_proc_counts(const std::string& arg,
   return false;
 }
 
+/// Parse "8M" / "512K" / "1G" / "4096" into bytes. Returns 0 on any
+/// malformed input (including trailing garbage) — sizes are never
+/// legitimately zero, so callers error out on 0.
+inline std::uint64_t parse_size_bytes(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) return 0;
+  std::uint64_t mult = 1;
+  switch (*end) {
+    case 'K': case 'k': mult = 1ull << 10; ++end; break;
+    case 'M': case 'm': mult = 1ull << 20; ++end; break;
+    case 'G': case 'g': mult = 1ull << 30; ++end; break;
+    default: break;
+  }
+  if (*end != '\0') return 0;
+  return static_cast<std::uint64_t>(v) * mult;
+}
+
 /// Fault-injection knobs shared by the routed benches: a lossy-fabric
 /// sweep is the same sweep with these applied to the RuntimeConfig.
 struct FaultOptions {
@@ -159,11 +179,63 @@ struct JsonRow {
   /// wpp==1 zero-copy path) vs. staged as refcounted sub-views.
   std::uint64_t fwd_copy_bytes = 0;
   std::uint64_t fwd_subview_bytes = 0;
+  /// Worst-case bytes pinned in staged forward runs on any one worker
+  /// (the sub-view retention high-water; 0 for direct schemes).
+  std::uint64_t max_staged_fwd_bytes = 0;
   std::uint64_t max_buffers = 0;  // live source buffers, worst worker
   /// Fault/reliability counters (src/fault/); all zero when the run was
   /// fault-free.
   core::FaultStats faults;
+  /// Extra bench-specific fields, pre-rendered as JSON ("\"k\": v, ...");
+  /// spliced into the row object verbatim when nonempty.
+  std::string extra_json;
   bool verified = true;
+};
+
+/// The counter slice shared by every routed app bench: the app point
+/// structs (HistoPoint / SsspPoint / PholdPoint / ShufflePoint) inherit
+/// it and add their app-specific fields, so a new app cannot fork the
+/// copy-paste again. capture() fills it from the pieces every app result
+/// carries.
+struct RoutedPointCounters {
+  std::uint64_t tram_messages = 0;  // buffers shipped
+  /// Messages re-shipped by routing intermediates (0 for direct schemes).
+  std::uint64_t forwarded_messages = 0;
+  /// Routed last-hop messages shipped pre-sorted (the zero-copy scatter
+  /// fast path; 0 for direct schemes).
+  std::uint64_t sorted_messages = 0;
+  /// Final-hop segments handed on as refcounted sub-views (0 direct).
+  std::uint64_t subview_deliveries = 0;
+  /// Forwarded bytes copied into intermediate slot buffers vs. staged as
+  /// sub-views of the inbound/scratch slab (both 0 for direct schemes;
+  /// copy is 0 with one worker per process — the zero-copy claim).
+  std::uint64_t fwd_copy_bytes = 0;
+  std::uint64_t fwd_subview_bytes = 0;
+  /// Worst-case staged-forward retention on any one worker (bytes).
+  std::uint64_t max_staged_fwd_bytes = 0;
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_bytes = 0;
+  /// Live source-side buffers on the worst worker (O(N) direct,
+  /// O(d*N^(1/d)) routed).
+  std::uint64_t max_reserved_buffers = 0;
+  /// Fault/reliability counters (all zero for fault-free runs).
+  core::FaultStats faults;
+
+  void capture(const core::WorkerTramStats& tram,
+               const rt::Machine::RunResult& run, std::uint64_t max_reserved,
+               const core::FaultStats& f) {
+    tram_messages = tram.msgs_shipped;
+    forwarded_messages = run.forwarded_messages;
+    sorted_messages = tram.routed_sorted_msgs;
+    subview_deliveries = tram.routed_subview_deliveries;
+    fwd_copy_bytes = tram.routed_forward_copy_bytes;
+    fwd_subview_bytes = tram.routed_forward_subview_bytes;
+    max_staged_fwd_bytes = tram.max_staged_fwd_bytes;
+    fabric_messages = run.fabric_messages;
+    fabric_bytes = run.fabric_bytes;
+    max_reserved_buffers = max_reserved;
+    faults = f;
+  }
 };
 
 /// The slice of a bench point every routed row reports — what
@@ -177,15 +249,14 @@ struct RoutedRowCounters {
   std::uint64_t subview_deliveries = 0;
   std::uint64_t fwd_copy_bytes = 0;
   std::uint64_t fwd_subview_bytes = 0;
+  std::uint64_t max_staged_fwd_bytes = 0;
   std::uint64_t max_reserved_buffers = 0;
   core::FaultStats faults;
 };
 
-/// Collect the shared counter slice out of a bench's point struct
-/// (HistoPoint / SsspPoint / PholdPoint all carry these fields under the
-/// same names).
-template <typename Point>
-RoutedRowCounters routed_counters_from(const Point& p, double ns_per_item) {
+/// Collect the shared counter slice out of a bench's point struct.
+inline RoutedRowCounters routed_counters_from(const RoutedPointCounters& p,
+                                              double ns_per_item) {
   RoutedRowCounters c;
   c.ns_per_item = ns_per_item;
   c.fabric_messages = p.fabric_messages;
@@ -195,6 +266,7 @@ RoutedRowCounters routed_counters_from(const Point& p, double ns_per_item) {
   c.subview_deliveries = p.subview_deliveries;
   c.fwd_copy_bytes = p.fwd_copy_bytes;
   c.fwd_subview_bytes = p.fwd_subview_bytes;
+  c.max_staged_fwd_bytes = p.max_staged_fwd_bytes;
   c.max_reserved_buffers = p.max_reserved_buffers;
   c.faults = p.faults;
   return c;
@@ -217,6 +289,7 @@ inline JsonRow make_routed_row(const std::string& scheme,
   row.subviews = c.subview_deliveries;
   row.fwd_copy_bytes = c.fwd_copy_bytes;
   row.fwd_subview_bytes = c.fwd_subview_bytes;
+  row.max_staged_fwd_bytes = c.max_staged_fwd_bytes;
   row.max_buffers = c.max_reserved_buffers;
   row.faults = c.faults;
   row.verified = verified;
@@ -250,13 +323,14 @@ class JsonReporter {
                    "\"subviews\": %llu, "
                    "\"fwd_copy_bytes\": %llu, "
                    "\"fwd_subview_bytes\": %llu, "
+                   "\"max_staged_fwd_bytes\": %llu, "
                    "\"max_buffers\": %llu, "
                    "\"faults_injected_drop\": %llu, "
                    "\"faults_injected_dup\": %llu, "
                    "\"faults_injected_delay\": %llu, "
                    "\"retransmits\": %llu, \"dup_drops\": %llu, "
                    "\"acks_sent\": %llu, "
-                   "\"verified\": %s}",
+                   "%s%s\"verified\": %s}",
                    i == 0 ? "" : ",", r.scheme.c_str(), r.topology.c_str(),
                    r.mesh.c_str(), r.ns_per_item,
                    static_cast<unsigned long long>(r.messages),
@@ -266,6 +340,7 @@ class JsonReporter {
                    static_cast<unsigned long long>(r.subviews),
                    static_cast<unsigned long long>(r.fwd_copy_bytes),
                    static_cast<unsigned long long>(r.fwd_subview_bytes),
+                   static_cast<unsigned long long>(r.max_staged_fwd_bytes),
                    static_cast<unsigned long long>(r.max_buffers),
                    static_cast<unsigned long long>(
                        r.faults.faults_injected_drop),
@@ -276,6 +351,7 @@ class JsonReporter {
                    static_cast<unsigned long long>(r.faults.retransmits),
                    static_cast<unsigned long long>(r.faults.dup_drops),
                    static_cast<unsigned long long>(r.faults.acks_sent),
+                   r.extra_json.c_str(), r.extra_json.empty() ? "" : ", ",
                    r.verified ? "true" : "false");
     }
     std::fprintf(f, "\n  ]\n}\n");

@@ -27,21 +27,11 @@ using namespace tram;
 
 namespace {
 
-struct PholdPoint {
+struct PholdPoint : bench::RoutedPointCounters {
   double seconds = 0.0;
   std::uint64_t events = 0;
   double ooo_pct = 0.0;
-  std::uint64_t tram_messages = 0;
-  std::uint64_t forwarded_messages = 0;
-  std::uint64_t sorted_messages = 0;
-  std::uint64_t subview_deliveries = 0;
-  std::uint64_t fwd_copy_bytes = 0;
-  std::uint64_t fwd_subview_bytes = 0;
-  std::uint64_t fabric_messages = 0;
-  std::uint64_t fabric_bytes = 0;
-  std::uint64_t max_reserved_buffers = 0;
   std::uint64_t items = 0;
-  core::FaultStats faults;
   bool exactly_once = true;
 };
 
@@ -64,18 +54,10 @@ PholdPoint run_phold(const util::Topology& topo,
   point.seconds = bench::median_seconds(trials, [&] {
     const auto res = app.run();
     pct_stats.add(res.ooo_pct);
+    point.capture(res.tram, res.run, res.max_reserved_buffers,
+                  machine.fault_stats());
     point.events = res.events_processed;
-    point.tram_messages = res.tram.msgs_shipped;
-    point.forwarded_messages = res.run.forwarded_messages;
-    point.sorted_messages = res.tram.routed_sorted_msgs;
-    point.subview_deliveries = res.tram.routed_subview_deliveries;
-    point.fwd_copy_bytes = res.tram.routed_forward_copy_bytes;
-    point.fwd_subview_bytes = res.tram.routed_forward_subview_bytes;
-    point.fabric_messages = res.run.fabric_messages;
-    point.fabric_bytes = res.run.fabric_bytes;
-    point.max_reserved_buffers = res.max_reserved_buffers;
     point.items = res.tram.items_delivered;
-    point.faults = machine.fault_stats();
     point.exactly_once = point.exactly_once &&
                          res.tram.items_inserted == res.tram.items_delivered;
     return res.run.wall_s;

@@ -9,30 +9,10 @@
 
 namespace tram::bench {
 
-struct HistoPoint {
+struct HistoPoint : RoutedPointCounters {
   double seconds = 0.0;
-  std::uint64_t tram_messages = 0;  // buffers shipped
   std::uint64_t flush_messages = 0;
-  std::uint64_t fabric_messages = 0;
-  std::uint64_t fabric_bytes = 0;
-  /// Messages re-shipped by routing intermediates (0 for direct schemes).
-  std::uint64_t forwarded_messages = 0;
-  /// Routed last-hop messages shipped pre-sorted (the zero-copy scatter
-  /// fast path; 0 for direct schemes).
-  std::uint64_t sorted_messages = 0;
-  /// Final-hop segments handed on as refcounted sub-views (0 direct).
-  std::uint64_t subview_deliveries = 0;
-  /// Forwarded bytes copied into intermediate slot buffers vs. staged as
-  /// sub-views of the inbound/scratch slab (both 0 for direct schemes;
-  /// copy is 0 with one worker per process — the zero-copy claim).
-  std::uint64_t fwd_copy_bytes = 0;
-  std::uint64_t fwd_subview_bytes = 0;
-  /// Live source-side buffers on the worst worker (O(N) direct,
-  /// O(d*N^(1/d)) routed).
-  std::uint64_t max_reserved_buffers = 0;
-  double mean_occupancy = 0.0;      // items per shipped message
-  /// Fault/reliability counters (all zero for fault-free runs).
-  core::FaultStats faults;
+  double mean_occupancy = 0.0;  // items per shipped message
   bool verified = true;
 };
 
@@ -53,18 +33,10 @@ inline HistoPoint run_histogram(const util::Topology& topo,
   HistoPoint point;
   point.seconds = median_seconds(trials, [&] {
     const auto res = app.run();
-    point.tram_messages = res.tram.msgs_shipped;
+    point.capture(res.tram, res.run, res.max_reserved_buffers,
+                  machine.fault_stats());
     point.flush_messages = res.tram.flush_msgs;
-    point.fabric_messages = res.run.fabric_messages;
-    point.fabric_bytes = res.run.fabric_bytes;
-    point.forwarded_messages = res.run.forwarded_messages;
-    point.sorted_messages = res.tram.routed_sorted_msgs;
-    point.subview_deliveries = res.tram.routed_subview_deliveries;
-    point.fwd_copy_bytes = res.tram.routed_forward_copy_bytes;
-    point.fwd_subview_bytes = res.tram.routed_forward_subview_bytes;
-    point.max_reserved_buffers = res.max_reserved_buffers;
     point.mean_occupancy = res.tram.occupancy_at_ship.mean();
-    point.faults = machine.fault_stats();
     point.verified = point.verified && res.verified;
     return res.run.wall_s;
   });

@@ -9,29 +9,17 @@
 
 namespace tram::bench {
 
-struct SsspPoint {
+struct SsspPoint : RoutedPointCounters {
   double seconds = 0.0;
   double wasted_pct = 0.0;
   std::uint64_t wasted = 0;
-  std::uint64_t tram_messages = 0;
   double mean_occupancy = 0.0;
   bool verified = true;
   /// Items delivered through the tram domain (== inserted when delivery
   /// was exactly-once; exactly_once asserts that).
   std::uint64_t items = 0;
   bool exactly_once = true;
-  /// Routed-scheme counters (0 for direct schemes).
-  std::uint64_t forwarded_messages = 0;
-  std::uint64_t sorted_messages = 0;
-  std::uint64_t subview_deliveries = 0;
-  std::uint64_t fwd_copy_bytes = 0;
-  std::uint64_t fwd_subview_bytes = 0;
   std::uint64_t priority_messages = 0;
-  std::uint64_t max_reserved_buffers = 0;
-  std::uint64_t fabric_messages = 0;
-  std::uint64_t fabric_bytes = 0;
-  /// Fault/reliability counters (all zero for fault-free runs).
-  core::FaultStats faults;
   /// FNV-1a over every vertex's final distance: two runs converged to
   /// bit-for-bit identical distances iff the hashes match (the routed
   /// benches cross-check this against the direct-scheme run).
@@ -57,23 +45,15 @@ inline SsspPoint run_sssp(const graph::Csr& g, const util::Topology& topo,
   point.seconds = median_seconds(trials, [&] {
     const auto res = app.run();
     pct_stats.add(res.wasted_pct);
+    point.capture(res.tram, res.run, res.max_reserved_buffers,
+                  machine.fault_stats());
     point.wasted = res.wasted_updates;
-    point.tram_messages = res.tram.msgs_shipped;
     point.mean_occupancy = res.tram.occupancy_at_ship.mean();
     point.verified = point.verified && res.verified;
     point.items = res.tram.items_delivered;
     point.exactly_once = point.exactly_once &&
                          res.tram.items_inserted == res.tram.items_delivered;
-    point.forwarded_messages = res.run.forwarded_messages;
-    point.sorted_messages = res.tram.routed_sorted_msgs;
-    point.subview_deliveries = res.tram.routed_subview_deliveries;
-    point.fwd_copy_bytes = res.tram.routed_forward_copy_bytes;
-    point.fwd_subview_bytes = res.tram.routed_forward_subview_bytes;
     point.priority_messages = res.tram.priority_msgs;
-    point.max_reserved_buffers = res.max_reserved_buffers;
-    point.fabric_messages = res.run.fabric_messages;
-    point.fabric_bytes = res.run.fabric_bytes;
-    point.faults = machine.fault_stats();
     return res.run.wall_s;
   });
   point.wasted_pct = pct_stats.mean();

@@ -77,6 +77,10 @@ struct WorkerTramStats {
   /// (the residual one-copy path, taken only when an inbound extent mixes
   /// buckets; single-destination extents bypass it entirely).
   std::uint64_t routed_rebucket_copy_bytes = 0;
+  /// Routed schemes: largest number of bytes this worker ever had pinned
+  /// in staged forward runs (sub-views awaiting their slot's next ship).
+  /// A high-water mark, so merge() takes the max, not the sum.
+  std::uint64_t max_staged_fwd_bytes = 0;
   /// Items per shipped message, observed at ship time.
   util::RunningStats occupancy_at_ship;
   /// Item latency (insert -> delivery), when latency_tracking is on.
@@ -99,6 +103,9 @@ struct WorkerTramStats {
     routed_forward_copy_bytes += o.routed_forward_copy_bytes;
     routed_forward_subview_bytes += o.routed_forward_subview_bytes;
     routed_rebucket_copy_bytes += o.routed_rebucket_copy_bytes;
+    if (o.max_staged_fwd_bytes > max_staged_fwd_bytes) {
+      max_staged_fwd_bytes = o.max_staged_fwd_bytes;
+    }
     occupancy_at_ship.merge(o.occupancy_at_ship);
     latency.merge(o.latency);
   }

@@ -1,0 +1,70 @@
+#include "io/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace tram::io {
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("MappedFile: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("MappedFile: cannot stat '" + path +
+                             "': " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ != 0) {
+    data_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data_ == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      data_ = nullptr;
+      throw std::runtime_error("MappedFile: mmap of '" + path +
+                               "' failed: " + std::strerror(err));
+    }
+    // Sources stream front to back; tell the kernel so readahead works
+    // and cold pages behind the cursor are cheap to evict.
+    ::madvise(data_, size_, MADV_SEQUENTIAL);
+  }
+  // The mapping pins the inode; the descriptor is not needed further.
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+ChunkReader::ChunkReader(std::span<const std::byte> bytes,
+                         std::size_t record_bytes, std::size_t chunk_bytes)
+    : bytes_(bytes), record_bytes_(record_bytes) {
+  if (record_bytes_ == 0) {
+    std::fprintf(stderr, "ChunkReader: record_bytes must be nonzero\n");
+    std::abort();
+  }
+  if (bytes_.size() % record_bytes_ != 0) {
+    std::fprintf(stderr,
+                 "ChunkReader: %zu bytes is not a whole number of %zu-byte "
+                 "records (truncated or corrupt input)\n",
+                 bytes_.size(), record_bytes_);
+    std::abort();
+  }
+  const std::size_t per_chunk =
+      chunk_bytes / record_bytes_ == 0 ? 1 : chunk_bytes / record_bytes_;
+  chunk_bytes_ = per_chunk * record_bytes_;
+}
+
+}  // namespace tram::io

@@ -1,0 +1,82 @@
+#pragma once
+///
+/// \file mapped_file.hpp
+/// \brief Read-only mmap'd input files and a whole-record chunk reader.
+///
+/// The out-of-core shuffle (src/shuffle/) streams datasets larger than
+/// RAM: sources never hold more than one chunk's worth of working set,
+/// the kernel pages the rest in and out behind the mapping. MappedFile
+/// is the mapping (open + mmap + madvise(SEQUENTIAL), munmap on
+/// destruction); ChunkReader walks a byte range of it in configurable
+/// chunk-sized steps, rounding every chunk down to whole records so a
+/// record never straddles two chunks handed to the caller.
+///
+/// Partial-tail handling is a correctness boundary, not a convenience:
+/// a file whose size is not a multiple of the record size is corrupt
+/// input (a truncated write, the wrong record type), and delivering the
+/// tail as a short record would silently skew every downstream checksum.
+/// ChunkReader aborts on it (death-tested in io_mapped_file_test).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tram::io {
+
+/// A file mapped read-only into the address space for its lifetime.
+/// Empty files map to an empty span (mmap rejects zero-length mappings,
+/// so no mapping is created). Open or map failure throws.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t size() const noexcept { return size_; }
+  std::span<const std::byte> bytes() const noexcept {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+
+ private:
+  std::string path_;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Streams a byte range as chunks of whole records. The chunk size is a
+/// target: every chunk holds max(1, chunk_bytes / record_bytes) records,
+/// so a chunk boundary never splits a record, and the final chunk
+/// carries the (whole-record) tail. A range that is not a multiple of
+/// record_bytes aborts — see the file comment.
+class ChunkReader {
+ public:
+  ChunkReader(std::span<const std::byte> bytes, std::size_t record_bytes,
+              std::size_t chunk_bytes);
+
+  /// The next chunk of whole records; empty at end of range.
+  std::span<const std::byte> next() noexcept {
+    if (pos_ >= bytes_.size()) return {};
+    const std::size_t n = bytes_.size() - pos_ < chunk_bytes_
+                              ? bytes_.size() - pos_
+                              : chunk_bytes_;
+    const auto chunk = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return chunk;
+  }
+
+  std::size_t records_total() const noexcept {
+    return bytes_.size() / record_bytes_;
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t record_bytes_;
+  std::size_t chunk_bytes_;  ///< rounded down to whole records
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tram::io

@@ -1,0 +1,103 @@
+#include "io/spill_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace tram::io {
+
+SpillWriter::SpillWriter(std::string path) : path_(std::move(path)) {}
+
+SpillWriter::~SpillWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SpillWriter::write_run(std::span<const std::byte> run) {
+  begin_run();
+  append(run);
+  end_run();
+}
+
+void SpillWriter::begin_run() {
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr) {
+      throw std::runtime_error("SpillWriter: cannot create '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+  }
+  run_open_ = true;
+  open_run_bytes_ = 0;
+}
+
+void SpillWriter::append(std::span<const std::byte> bytes) {
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    throw std::runtime_error("SpillWriter: short write to '" + path_ + "'");
+  }
+  open_run_bytes_ += bytes.size();
+}
+
+void SpillWriter::end_run() {
+  runs_.push_back({bytes_written_, open_run_bytes_});
+  bytes_written_ += open_run_bytes_;
+  open_run_bytes_ = 0;
+  run_open_ = false;
+}
+
+void SpillWriter::flush() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    throw std::runtime_error("SpillWriter: flush of '" + path_ +
+                             "' failed: " + std::strerror(errno));
+  }
+}
+
+std::size_t RunReader::refill(std::span<std::byte> buf) {
+  const std::uint64_t left = end_ - pos_;
+  std::size_t want = buf.size();
+  if (static_cast<std::uint64_t>(want) > left) {
+    want = static_cast<std::size_t>(left);
+  }
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::pread(fd_, buf.data() + got, want - got,
+                              static_cast<off_t>(pos_ + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "RunReader: pread failed: %s\n",
+                   std::strerror(errno));
+      std::abort();
+    }
+    if (n == 0) {
+      // The run index promised these bytes; EOF here means the file was
+      // truncated after the writer flushed. Unrecoverable.
+      std::fprintf(stderr,
+                   "RunReader: spill file truncated (wanted %zu bytes at "
+                   "offset %llu, got %zu)\n",
+                   want, static_cast<unsigned long long>(pos_), got);
+      std::abort();
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  pos_ += got;
+  return got;
+}
+
+SpillReader::SpillReader(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("SpillReader: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+}
+
+SpillReader::~SpillReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+}  // namespace tram::io

@@ -1,0 +1,109 @@
+#pragma once
+///
+/// \file spill_file.hpp
+/// \brief Buffered sorted-run writer/reader with a run index.
+///
+/// A spill file is a sequence of sorted runs appended back to back; the
+/// writer keeps the index (offset + byte length per run) in memory, and
+/// the reader hands out per-run cursors that refill a caller-provided
+/// buffer with pread — stateless on the shared descriptor, so any number
+/// of run cursors (the k-way merge holds one per run) can interleave
+/// reads without seek coordination.
+///
+/// The io layer is record-agnostic: runs are byte ranges. Record framing
+/// (and the guarantee that refill buffers hold whole records) lives one
+/// layer up, in src/shuffle/.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tram::io {
+
+/// One sorted run inside a spill file.
+struct SpillRun {
+  std::uint64_t offset = 0;  ///< byte offset of the run's first byte
+  std::uint64_t bytes = 0;   ///< run length in bytes
+};
+
+/// Append-only run writer. One writer per file; write_run appends the
+/// whole (already sorted) run through a buffered stream and records it
+/// in the index. Not thread-safe — in the shuffle each destination
+/// worker owns its spill file.
+class SpillWriter {
+ public:
+  explicit SpillWriter(std::string path);
+  ~SpillWriter();
+
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  /// Append one sorted run. Opens the file lazily on the first call, so
+  /// a worker that never spills never creates a file.
+  void write_run(std::span<const std::byte> run);
+
+  /// Streaming alternative to write_run for runs too large to hold in
+  /// memory (cascade merges): begin_run, any number of appends, end_run
+  /// (which records the run in the index).
+  void begin_run();
+  void append(std::span<const std::byte> bytes);
+  void end_run();
+
+  /// Flush buffered bytes to the OS (the reader opens the file fresh,
+  /// so everything written must be visible). Idempotent.
+  void flush();
+
+  const std::string& path() const noexcept { return path_; }
+  const std::vector<SpillRun>& runs() const noexcept { return runs_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<SpillRun> runs_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t open_run_bytes_ = 0;
+  bool run_open_ = false;
+};
+
+/// Sequential reader over one run: refills a caller-provided buffer via
+/// pread on the reader's shared descriptor. Obtained from SpillReader.
+class RunReader {
+ public:
+  /// Fill `buf` with the next min(buf.size, remaining) bytes of the run;
+  /// returns the number of bytes read (0 at end of run). Short reads
+  /// from the OS are retried; a true truncation aborts (the writer's
+  /// index said the bytes exist — anything else is file corruption).
+  std::size_t refill(std::span<std::byte> buf);
+
+  std::uint64_t remaining() const noexcept { return end_ - pos_; }
+
+ private:
+  friend class SpillReader;
+  RunReader(int fd, SpillRun run) noexcept
+      : fd_(fd), pos_(run.offset), end_(run.offset + run.bytes) {}
+
+  int fd_ = -1;  ///< owned by the SpillReader this cursor came from
+  std::uint64_t pos_ = 0;
+  std::uint64_t end_ = 0;
+};
+
+/// Opens a spill file for reading and vends per-run cursors. Must
+/// outlive every RunReader it hands out.
+class SpillReader {
+ public:
+  explicit SpillReader(const std::string& path);
+  ~SpillReader();
+
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+
+  RunReader run(const SpillRun& r) const noexcept { return {fd_, r}; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace tram::io

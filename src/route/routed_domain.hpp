@@ -199,7 +199,12 @@ class RoutedDomain {
 
   /// Zero all counters between benchmark trials (machine must be idle).
   void reset_stats() {
-    for (auto& h : handles_) h->stats_ = core::WorkerTramStats{};
+    for (auto& h : handles_) {
+      h->stats_ = core::WorkerTramStats{};
+      // Re-arm the staged-forward high-water so each trial reports its
+      // own retention peak (idle machine => staged_bytes_ is 0).
+      h->staged_bytes_hwm_ = h->staged_bytes_;
+    }
   }
 
  private:
@@ -463,6 +468,7 @@ class RoutedDomain {
         staged_bytes_ += std::uint64_t{k} * sizeof(Entry);
         if (staged_bytes_ > staged_bytes_hwm_) {
           staged_bytes_hwm_ = staged_bytes_;
+          stats_.max_staged_fwd_bytes = staged_bytes_;
         }
         if (hop > hops[s]) hops[s] = hop;
         off += k;

@@ -1,0 +1,155 @@
+#pragma once
+///
+/// \file merge.hpp
+/// \brief Loser-tree k-way merge over sorted record runs.
+///
+/// A loser tree beats a binary heap for merging: each pop replays one
+/// leaf-to-root path (log2 k comparisons, no sift-down branching), and
+/// the winner is always at hand in node 0. The tree is stored implicitly
+/// in an array of 2k slots — internal nodes 1..k-1 hold the *losers* of
+/// their subtree matches, leaf j sits at slot k+j, node 0 holds the
+/// overall winner.
+///
+/// Cursors are any type with
+///   const Record* current()  — head of the run, nullptr when exhausted
+///   void advance()           — step past the head
+/// Two implementations cover the shuffle's needs: MemoryRunCursor walks
+/// an in-memory sorted tail, SpillRunCursor streams a sorted run back
+/// from a spill file through a small refill buffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "io/spill_file.hpp"
+#include "shuffle/record.hpp"
+
+namespace tram::shuffle {
+
+/// Cursor over a sorted in-memory run (the unspilled staging tail).
+class MemoryRunCursor {
+ public:
+  explicit MemoryRunCursor(std::span<const Record> run) noexcept
+      : cur_(run.data()), end_(run.data() + run.size()) {}
+
+  const Record* current() const noexcept { return cur_ < end_ ? cur_ : nullptr; }
+  void advance() noexcept { ++cur_; }
+
+ private:
+  const Record* cur_;
+  const Record* end_;
+};
+
+/// Cursor over a sorted run in a spill file, streamed through a refill
+/// buffer the caller provides (sized by the merge's memory budget, whole
+/// records only).
+class SpillRunCursor {
+ public:
+  SpillRunCursor(io::RunReader reader, std::span<std::byte> buf) noexcept
+      : reader_(reader), buf_(buf) {
+    refill();
+  }
+
+  const Record* current() const noexcept { return idx_ < count_ ? &records()[idx_] : nullptr; }
+
+  void advance() noexcept {
+    if (++idx_ >= count_) refill();
+  }
+
+ private:
+  const Record* records() const noexcept {
+    return reinterpret_cast<const Record*>(buf_.data());
+  }
+
+  void refill() noexcept {
+    const std::size_t whole = (buf_.size() / sizeof(Record)) * sizeof(Record);
+    const std::size_t got = reader_.refill(buf_.subspan(0, whole));
+    count_ = got / sizeof(Record);
+    idx_ = 0;
+  }
+
+  io::RunReader reader_;
+  std::span<std::byte> buf_;
+  std::size_t idx_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// K-way merge. Build once over k cursors, then pop() until it returns
+/// nullptr. Ties break toward the lower-index cursor, which together
+/// with the (key, payload) total order makes the merged stream fully
+/// deterministic.
+template <typename Cursor>
+class LoserTree {
+ public:
+  explicit LoserTree(std::vector<Cursor> cursors) : cursors_(std::move(cursors)) {
+    const std::size_t k = cursors_.size();
+    if (k == 0) return;
+    tree_.assign(2 * k, 0);
+    for (std::size_t j = 0; j < k; ++j) tree_[k + j] = j;
+    if (k > 1) tree_[0] = build(1);
+  }
+
+  /// The next record in merged order, or nullptr when all runs are dry.
+  /// The returned pointer is valid until the next pop() call.
+  const Record* pop() {
+    const std::size_t k = cursors_.size();
+    if (k == 0) return nullptr;
+    const std::size_t w = tree_[0];
+    const Record* r = cursors_[w].current();
+    if (r == nullptr) return nullptr;
+    out_ = *r;  // advance() may refill the buffer r points into
+    cursors_[w].advance();
+    if (k > 1) replay(w);
+    return &out_;
+  }
+
+ private:
+  /// True when cursor a's head orders before cursor b's head (exhausted
+  /// cursors sort last; equal heads break toward the lower index).
+  bool wins(std::size_t a, std::size_t b) const {
+    const Record* ra = cursors_[a].current();
+    const Record* rb = cursors_[b].current();
+    if (ra == nullptr) return false;
+    if (rb == nullptr) return true;
+    if (*ra < *rb) return true;
+    if (*rb < *ra) return false;
+    return a < b;
+  }
+
+  /// Recursively play the subtree under internal node `node`, storing
+  /// losers on the way up; returns the subtree's winner.
+  std::size_t build(std::size_t node) {
+    const std::size_t k = cursors_.size();
+    const std::size_t left = 2 * node;
+    const std::size_t lw = left >= k ? tree_[left] : build(left);
+    const std::size_t rw = left + 1 >= k ? tree_[left + 1] : build(left + 1);
+    if (wins(lw, rw)) {
+      tree_[node] = rw;
+      return lw;
+    }
+    tree_[node] = lw;
+    return rw;
+  }
+
+  /// After cursor `w` advanced, replay its leaf-to-root path.
+  void replay(std::size_t w) {
+    const std::size_t k = cursors_.size();
+    std::size_t winner = w;
+    for (std::size_t node = (k + w) / 2; node >= 1; node /= 2) {
+      if (wins(tree_[node], winner)) {
+        const std::size_t tmp = winner;
+        winner = tree_[node];
+        tree_[node] = tmp;
+      }
+    }
+    tree_[0] = winner;
+  }
+
+  std::vector<Cursor> cursors_;
+  std::vector<std::size_t> tree_;  ///< node 0 = winner, 1..k-1 = losers, k+j = leaf j
+  Record out_{};
+};
+
+}  // namespace tram::shuffle

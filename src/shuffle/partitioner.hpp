@@ -1,0 +1,34 @@
+#pragma once
+///
+/// \file partitioner.hpp
+/// \brief Key-range → destination worker map for the shuffle.
+///
+/// Contiguous key ranges map to workers in id order, so concatenating
+/// the per-worker sorted outputs in worker-id order yields the globally
+/// sorted stream — no final merge across workers is needed. The split
+/// point is computed with a 128-bit multiply (owner = key * W >> 64),
+/// which divides the full u64 key space into W near-equal ranges
+/// without divisions on the hot path.
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace tram::shuffle {
+
+class Partitioner {
+ public:
+  explicit Partitioner(std::uint32_t workers) noexcept : workers_(workers) {}
+
+  WorkerId owner(std::uint64_t key) const noexcept {
+    return static_cast<WorkerId>(
+        (static_cast<unsigned __int128>(key) * workers_) >> 64);
+  }
+
+  std::uint32_t workers() const noexcept { return workers_; }
+
+ private:
+  std::uint32_t workers_;
+};
+
+}  // namespace tram::shuffle

@@ -1,0 +1,80 @@
+#pragma once
+///
+/// \file record.hpp
+/// \brief Fixed-width shuffle record and the CRC64 accumulator that
+///        verifies it end to end.
+///
+/// A record is an 8-byte key plus an 8-byte payload — 16 bytes, no
+/// padding, trivially copyable, so records move through the tram layer
+/// by memcpy and live in spill files as raw bytes. Ordering is the full
+/// (key, payload) pair: ties on the key alone would make the sorted
+/// order (and therefore the output CRC) depend on arrival order, which
+/// the mesh does not preserve. With the payload in the comparison the
+/// sorted stream is a pure function of the record multiset, which is
+/// exactly what exactly-once delivery promises to preserve.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+namespace tram::shuffle {
+
+struct Record {
+  std::uint64_t key = 0;
+  std::uint64_t payload = 0;
+
+  friend bool operator==(const Record&, const Record&) = default;
+  friend bool operator<(const Record& a, const Record& b) noexcept {
+    if (a.key != b.key) return a.key < b.key;
+    return a.payload < b.payload;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Record>);
+static_assert(sizeof(Record) == 16, "Record must pack to 16 bytes");
+
+/// CRC64 (ECMA-182 polynomial, bit-reversed, init/xorout ~0) over a byte
+/// stream. Streamable: feed the sorted output run by run and compare the
+/// final value against a reference computed in one shot.
+class Crc64 {
+ public:
+  void update(std::span<const std::byte> bytes) noexcept {
+    const std::uint64_t* t = table();
+    std::uint64_t c = crc_;
+    for (const std::byte b : bytes) {
+      c = t[(c ^ static_cast<std::uint64_t>(b)) & 0xff] ^ (c >> 8);
+    }
+    crc_ = c;
+  }
+
+  void update(const Record& r) noexcept {
+    update(std::as_bytes(std::span<const Record, 1>(&r, 1)));
+  }
+
+  std::uint64_t value() const noexcept { return ~crc_; }
+
+ private:
+  static const std::uint64_t* table() noexcept {
+    static const auto tbl = [] {
+      struct T {
+        std::uint64_t e[256];
+      } t{};
+      // Reflected ECMA-182: poly 0x42F0E1EBA9EA3693 bit-reversed.
+      constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+      for (std::uint64_t i = 0; i < 256; ++i) {
+        std::uint64_t c = i;
+        for (int k = 0; k < 8; ++k) {
+          c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+        }
+        t.e[i] = c;
+      }
+      return t;
+    }();
+    return tbl.e;
+  }
+
+  std::uint64_t crc_ = ~0ull;
+};
+
+}  // namespace tram::shuffle

@@ -99,9 +99,20 @@ PayloadRef PayloadPool::acquire(std::size_t bytes) {
   if (bytes == 0) return {};
   acquires_.fetch_add(1, std::memory_order_relaxed);
   outstanding_.fetch_add(1, std::memory_order_relaxed);
+  // Charge the block's full capacity (not the logical size): that is what
+  // the budgeted caller's memory actually holds.
+  const auto charge = [this](std::size_t cap) {
+    const std::uint64_t now =
+        outstanding_bytes_.fetch_add(cap, std::memory_order_relaxed) + cap;
+    std::uint64_t peak = peak_outstanding_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_outstanding_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  };
 
   if (bytes > cfg_.max_slab_bytes) {
     heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    charge(bytes);
     detail::SlabHeader* h = new_block(bytes, /*pooled=*/false);
     return PayloadRef(h, detail::slab_data(h), bytes);
   }
@@ -123,6 +134,7 @@ PayloadRef PayloadPool::acquire(std::size_t bytes) {
     }
     if (h != nullptr) {
       pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      charge(h->capacity);
       h->next_free = nullptr;
       h->refs.store(1, std::memory_order_relaxed);
       return PayloadRef(h, detail::slab_data(h), bytes);
@@ -134,12 +146,14 @@ PayloadRef PayloadPool::acquire(std::size_t bytes) {
           cfg_.max_slabs_per_class) {
     // Pool exhausted for this class: degrade to a one-shot heap block.
     heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    charge(bytes);
     detail::SlabHeader* h = new_block(bytes, /*pooled=*/false);
     return PayloadRef(h, detail::slab_data(h), bytes);
   }
 
   cls.total_slabs.fetch_add(1, std::memory_order_relaxed);
   slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+  charge(cls.capacity);
   detail::SlabHeader* h = new_block(cls.capacity, /*pooled=*/true);
   return PayloadRef(h, detail::slab_data(h), bytes);
 }
@@ -152,6 +166,7 @@ void PayloadPool::release_slab(detail::SlabHeader* h) noexcept {
 void PayloadPool::on_release(detail::SlabHeader* h) noexcept {
   releases_.fetch_add(1, std::memory_order_relaxed);
   outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  outstanding_bytes_.fetch_sub(h->capacity, std::memory_order_relaxed);
   if (!h->pooled) {
     destroy_block(h);
     return;
@@ -177,6 +192,9 @@ PayloadPool::Stats PayloadPool::stats() const {
   // A live counter, not acquires - releases: reset_stats() zeroes the
   // flow counters between benchmark trials while buffers stay alive.
   s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  s.outstanding_bytes = outstanding_bytes_.load(std::memory_order_relaxed);
+  s.peak_outstanding_bytes =
+      peak_outstanding_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -186,6 +204,11 @@ void PayloadPool::reset_stats() {
   slab_allocs_.store(0, std::memory_order_relaxed);
   heap_fallbacks_.store(0, std::memory_order_relaxed);
   releases_.store(0, std::memory_order_relaxed);
+  // Re-arm the high-water to the bytes still live, so the next trial's
+  // peak measures that trial alone.
+  peak_outstanding_bytes_.store(
+      outstanding_bytes_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
 }
 
 }  // namespace tram::util

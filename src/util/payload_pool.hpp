@@ -237,6 +237,13 @@ class PayloadPool {
     std::uint64_t free_slabs = 0;
     /// Live buffers right now (not affected by reset_stats()).
     std::uint64_t outstanding = 0;
+    /// Slab capacity held by live buffers right now (live counter, like
+    /// outstanding). Counts full size-class capacity, not logical sizes —
+    /// the bytes a memory budget actually pays for.
+    std::uint64_t outstanding_bytes = 0;
+    /// High-water mark of outstanding_bytes. reset_stats() re-arms it to
+    /// the current outstanding_bytes, so per-trial peaks are measurable.
+    std::uint64_t peak_outstanding_bytes = 0;
 
     double recycle_rate() const {
       return acquires == 0
@@ -301,6 +308,8 @@ class PayloadPool {
   std::atomic<std::uint64_t> releases_{0};
   std::atomic<std::uint64_t> free_slabs_{0};
   std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<std::uint64_t> outstanding_bytes_{0};
+  std::atomic<std::uint64_t> peak_outstanding_bytes_{0};
 };
 
 inline void PayloadRef::release() noexcept {
