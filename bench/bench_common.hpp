@@ -330,6 +330,10 @@ class JsonReporter {
                    "\"faults_injected_delay\": %llu, "
                    "\"retransmits\": %llu, \"dup_drops\": %llu, "
                    "\"acks_sent\": %llu, "
+                   "\"fast_retransmits\": %llu, \"rto_fires\": %llu, "
+                   "\"rtx_bytes\": %llu, \"paced_msgs\": %llu, "
+                   "\"max_inflight_msgs\": %llu, "
+                   "\"link_busy_ns\": %llu, \"max_link_queue_ns\": %llu, "
                    "%s%s\"verified\": %s}",
                    i == 0 ? "" : ",", r.scheme.c_str(), r.topology.c_str(),
                    r.mesh.c_str(), r.ns_per_item,
@@ -351,6 +355,16 @@ class JsonReporter {
                    static_cast<unsigned long long>(r.faults.retransmits),
                    static_cast<unsigned long long>(r.faults.dup_drops),
                    static_cast<unsigned long long>(r.faults.acks_sent),
+                   static_cast<unsigned long long>(
+                       r.faults.fast_retransmits),
+                   static_cast<unsigned long long>(r.faults.rto_fires),
+                   static_cast<unsigned long long>(r.faults.rtx_bytes),
+                   static_cast<unsigned long long>(r.faults.paced_msgs),
+                   static_cast<unsigned long long>(
+                       r.faults.max_inflight_msgs),
+                   static_cast<unsigned long long>(r.faults.link_busy_ns),
+                   static_cast<unsigned long long>(
+                       r.faults.max_link_queue_ns),
                    r.extra_json.c_str(), r.extra_json.empty() ? "" : ", ",
                    r.verified ? "true" : "false");
     }

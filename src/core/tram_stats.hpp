@@ -120,12 +120,31 @@ struct FaultStats {
   std::uint64_t faults_injected_drop = 0;
   std::uint64_t faults_injected_dup = 0;
   std::uint64_t faults_injected_delay = 0;
-  /// Head-of-line probes re-shipped after a retransmit timeout.
+  /// Messages re-shipped, for any reason (timer or SACK hole).
   std::uint64_t retransmits = 0;
   /// Data messages the receiver-side dedup window consumed.
   std::uint64_t dup_drops = 0;
   /// Standalone cumulative acks (piggybacked acks ride data for free).
   std::uint64_t acks_sent = 0;
+  /// Retransmits triggered by a SACK-reported hole, without waiting for
+  /// the timer (subset of retransmits).
+  std::uint64_t fast_retransmits = 0;
+  /// Retransmit-timer expirations; with SACK each may batch several
+  /// retransmits, so retransmits / rto_fires is the recovery batch size.
+  std::uint64_t rto_fires = 0;
+  /// Framed bytes re-shipped — the byte overhead recovery paid.
+  std::uint64_t rtx_bytes = 0;
+  /// Messages that waited in a sender-side pacing queue (past the AIMD
+  /// congestion window) before first transmit.
+  std::uint64_t paced_msgs = 0;
+  /// High-water mark of per-channel transmitted-and-unacked messages —
+  /// how far AIMD actually opened the window.
+  std::uint64_t max_inflight_msgs = 0;
+  /// Per-link contention (net::Fabric): total time cross-node messages
+  /// occupied destination ingress links, and the worst single queueing
+  /// delay behind one. Zero unless the cost model sets link occupancy.
+  std::uint64_t link_busy_ns = 0;
+  std::uint64_t max_link_queue_ns = 0;
 };
 
 /// ---- Section III-C formulas ----

@@ -13,10 +13,15 @@
 /// earliest hold feeds next_due_ns() so idle pump threads sleep exactly
 /// until the release.
 ///
-/// Threading mirrors the Transport contract: send(p, ...) and poll(p) are
-/// only ever invoked from process p's pumping thread, so the per-source
-/// state (holding heap, attempt counters) needs no locks; only the
-/// aggregate counters are atomic (read by the QD thread and reporters).
+/// Threading: poll(p) is only ever invoked from process p's pumping
+/// thread, but send(p, ...) may arrive from ANY thread — the reliability
+/// layer above fast-retransmits and drains its pacing queue from whatever
+/// thread delivered the triggering ack (the peer's thread under the
+/// inline transport). The per-source state (holding heap, attempt
+/// counters) is therefore guarded by a per-source spinlock; inner sends
+/// happen outside it so the inline transport's synchronous delivery
+/// recursion can never self-deadlock. Aggregate counters stay atomic
+/// (read by the QD thread and reporters).
 
 #include <atomic>
 #include <cstdint>
@@ -28,6 +33,7 @@
 #include "fault/fault_config.hpp"
 #include "fault/fault_schedule.hpp"
 #include "runtime/transport.hpp"
+#include "util/spinlock.hpp"
 
 namespace tram::fault {
 
@@ -73,8 +79,9 @@ class FaultyTransport final : public rt::Transport {
   /// (see send()); bounds memory on service-length lossy runs.
   static constexpr std::size_t kMaxAttemptEntries = std::size_t{1} << 20;
 
-  /// Per-source state, touched only by that process's pump thread.
+  /// Per-source state; senders may be any thread (see file comment).
   struct SrcState {
+    mutable util::Spinlock mu;
     std::priority_queue<Held, std::vector<Held>, HeldLater> held;
     /// Next attempt ordinal per (dst, seq) data identity — what lets the
     /// schedule give a retransmit a fresh fate.

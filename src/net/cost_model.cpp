@@ -10,6 +10,10 @@ std::string CostModel::to_string() const {
      << alpha_local_ns << "ns beta_remote=" << beta_remote_ns
      << "ns/B beta_local=" << beta_local_ns << "ns/B inject=" << inject_ns
      << "ns";
+  if (link_contention()) {
+    os << " link_per_msg=" << link_per_msg_ns
+       << "ns link_per_byte=" << link_per_byte_ns << "ns/B";
+  }
   return os.str();
 }
 

@@ -36,6 +36,14 @@ struct CostModel {
   /// Serialized per source node, so many processes injecting tiny messages
   /// contend here — but far less than on a single comm thread.
   double inject_ns = 120.0;
+  /// Per-link contention: occupancy of the destination node's ingress
+  /// link per message / per byte. Cross-node messages converging on one
+  /// node serialize through that node's link clock for this occupancy —
+  /// mesh hops that share a physical link queue behind each other, which
+  /// is what makes send-window pacing measurable. 0 (the default)
+  /// preserves the contention-free model exactly.
+  double link_per_msg_ns = 0.0;
+  double link_per_byte_ns = 0.0;
 
   /// Time the source NIC is occupied injecting this message.
   std::uint64_t injection_ns(std::size_t bytes, bool same_node) const noexcept {
@@ -53,6 +61,19 @@ struct CostModel {
   /// Total modeled one-way time for an uncontended message.
   std::uint64_t message_ns(std::size_t bytes, bool same_node) const noexcept {
     return injection_ns(bytes, same_node) + wire_ns(same_node);
+  }
+
+  /// Is per-link contention modeled at all? (Gates the link-clock RMW in
+  /// Fabric::send, like the inj != 0 check gates the NIC clock.)
+  bool link_contention() const noexcept {
+    return link_per_msg_ns > 0.0 || link_per_byte_ns > 0.0;
+  }
+
+  /// Time a cross-node message occupies the destination node's ingress
+  /// link; later arrivals on the same link queue behind it.
+  std::uint64_t link_occupancy_ns(std::size_t bytes) const noexcept {
+    return static_cast<std::uint64_t>(
+        link_per_msg_ns + link_per_byte_ns * static_cast<double>(bytes));
   }
 
   /// The paper's closed-form cost of sending z items of b bytes with buffer

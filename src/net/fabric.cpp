@@ -9,8 +9,11 @@ namespace tram::net {
 Fabric::Fabric(util::Topology topo, CostModel model)
     : topo_(topo), model_(model) {
   nic_busy_until_.reserve(topo_.nodes());
+  link_busy_until_.reserve(topo_.nodes());
   for (int n = 0; n < topo_.nodes(); ++n) {
     nic_busy_until_.push_back(
+        std::make_unique<util::Padded<std::atomic<std::uint64_t>>>());
+    link_busy_until_.push_back(
         std::make_unique<util::Padded<std::atomic<std::uint64_t>>>());
   }
   ingress_.reserve(topo_.procs());
@@ -55,6 +58,34 @@ std::uint64_t Fabric::send(Packet&& p) {
                                            std::memory_order_relaxed));
     }
     arrival = end + model_.wire_ns(false);
+    // Serialize through the destination node's ingress link. Messages
+    // converging on one node (a mesh hop's fan-in, an incast) queue
+    // behind each other for their link occupancy — the contention that
+    // makes a sender-side congestion window earn its keep. The same
+    // CAS-max loop as the NIC clock, keyed by destination node.
+    const std::uint64_t occ = model_.link_occupancy_ns(bytes);
+    if (occ != 0) {
+      auto& link = link_busy_until_[dst_node]->value;
+      std::uint64_t prev = link.load(std::memory_order_relaxed);
+      std::uint64_t start;
+      std::uint64_t lend;
+      do {
+        start = prev > arrival ? prev : arrival;
+        lend = start + occ;
+      } while (!link.compare_exchange_weak(prev, lend,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed));
+      link_busy_ns_.fetch_add(occ, std::memory_order_relaxed);
+      const std::uint64_t queued = start - arrival;
+      if (queued != 0) {
+        std::uint64_t cur =
+            link_queue_ns_max_.load(std::memory_order_relaxed);
+        while (cur < queued && !link_queue_ns_max_.compare_exchange_weak(
+                                   cur, queued, std::memory_order_relaxed)) {
+        }
+      }
+      arrival = lend;
+    }
   }
   p.arrival_ns = arrival;
 
@@ -105,6 +136,11 @@ void Fabric::reset() {
   for (auto& n : nic_busy_until_) {
     n->value.store(0, std::memory_order_relaxed);
   }
+  for (auto& n : link_busy_until_) {
+    n->value.store(0, std::memory_order_relaxed);
+  }
+  link_busy_ns_.store(0, std::memory_order_relaxed);
+  link_queue_ns_max_.store(0, std::memory_order_relaxed);
   for (auto& c : counters_) {
     c->value.messages_sent.store(0, std::memory_order_relaxed);
     c->value.bytes_sent.store(0, std::memory_order_relaxed);

@@ -66,6 +66,16 @@ class Fabric {
   /// Sum of messages sent across all processes.
   std::uint64_t total_messages_sent() const;
   std::uint64_t total_bytes_sent() const;
+  /// Per-link contention counters (all zero unless the cost model sets
+  /// link_per_msg_ns/link_per_byte_ns): total time cross-node messages
+  /// occupied destination ingress links, and the worst single queueing
+  /// delay any message spent waiting behind others for its link.
+  std::uint64_t link_busy_ns() const noexcept {
+    return link_busy_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_link_queue_ns() const noexcept {
+    return link_queue_ns_max_.load(std::memory_order_relaxed);
+  }
   /// Messages handed to the fabric but not yet popped by a receiver.
   /// Used by quiescence detection: the system cannot be quiescent while
   /// packets are in flight.
@@ -84,10 +94,17 @@ class Fabric {
   // One NIC busy-until clock per node, padded to avoid false sharing.
   std::vector<std::unique_ptr<util::Padded<std::atomic<std::uint64_t>>>>
       nic_busy_until_;
+  // One ingress-link busy-until clock per node: cross-node messages
+  // converging on a node serialize through it for their link occupancy
+  // (CostModel::link_occupancy_ns). Untouched when contention is off.
+  std::vector<std::unique_ptr<util::Padded<std::atomic<std::uint64_t>>>>
+      link_busy_until_;
   std::vector<std::unique_ptr<IngressSlot>> ingress_;
   std::vector<std::unique_ptr<util::Padded<FabricCounters>>> counters_;
   std::atomic<std::uint64_t> total_pushed_{0};
   std::atomic<std::uint64_t> total_popped_{0};
+  std::atomic<std::uint64_t> link_busy_ns_{0};
+  std::atomic<std::uint64_t> link_queue_ns_max_{0};
 
   friend class FabricReceipt;
 

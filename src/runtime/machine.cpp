@@ -71,7 +71,16 @@ core::FaultStats Machine::fault_stats() const {
     s.retransmits = reliable_->retransmits();
     s.dup_drops = reliable_->dup_drops();
     s.acks_sent = reliable_->acks_sent();
+    s.fast_retransmits = reliable_->fast_retransmits();
+    s.rto_fires = reliable_->rto_fires();
+    s.rtx_bytes = reliable_->rtx_bytes();
+    s.paced_msgs = reliable_->paced_msgs();
+    s.max_inflight_msgs = reliable_->max_inflight_msgs();
   }
+  // Link counters live on the fabric, independent of fault injection:
+  // nonzero whenever the cost model configures per-link contention.
+  s.link_busy_ns = fabric_.link_busy_ns();
+  s.max_link_queue_ns = fabric_.max_link_queue_ns();
   return s;
 }
 

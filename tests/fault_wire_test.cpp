@@ -46,7 +46,7 @@ TEST(ReliableWireDeathTest, TruncatedOrCorruptHeaderAborts) {
   std::array<std::byte, sizeof(fault::ReliableHeader)> buf{};
   fault::ReliableHeader h;
 
-  // Shorter than the fixed 16-byte prefix.
+  // Shorter than the fixed 24-byte prefix.
   EXPECT_DEATH(fault::parse_reliable_header(
                    std::span<const std::byte>(buf.data(), 8)),
                "truncated");
@@ -164,6 +164,46 @@ TEST(FaultConfig, RejectsUnrecoverableRates) {
   // And the machine enforces it at construction.
   rt::RuntimeConfig rt_cfg = rt::RuntimeConfig::inline_testing();
   rt_cfg.fault.drop_rate = 0.95;
+  EXPECT_THROW(rt::Machine(util::Topology(2, 1, 1), rt_cfg),
+               std::invalid_argument);
+}
+
+/// The congestion knobs validate too: a zero-width window could never
+/// drain, an inverted window ordering is a config bug, a window wider
+/// than the SACK bitmap would leave holes the bitmap cannot name, and an
+/// inverted RTO clamp would make the timer unsatisfiable.
+TEST(FaultConfig, RejectsBadCongestionKnobs) {
+  fault::FaultConfig ok;
+  ok.dup_rate = 0.1;
+  EXPECT_NO_THROW(ok.validate());
+
+  fault::FaultConfig cfg = ok;
+  cfg.window_min = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ok;
+  cfg.window_min = 8;
+  cfg.window_init = 4;  // init below min
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ok;
+  cfg.window_init = 32;
+  cfg.window_max = 16;  // init above max
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ok;
+  cfg.window_max = 128;  // wider than the 64-bit SACK bitmap
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ok;
+  cfg.rto_floor_ns = 2'000'000;
+  cfg.rto_ceil_ns = 1'000'000;  // floor above ceiling
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // The machine rejects them at construction just like the rates.
+  rt::RuntimeConfig rt_cfg = rt::RuntimeConfig::inline_testing();
+  rt_cfg.fault.dup_rate = 0.1;
+  rt_cfg.fault.window_min = 0;
   EXPECT_THROW(rt::Machine(util::Topology(2, 1, 1), rt_cfg),
                std::invalid_argument);
 }

@@ -103,6 +103,60 @@ TEST(Fabric, InjectionSerializesPerSourceNode) {
   }
 }
 
+TEST(Fabric, LinkContentionSerializesPerDestinationNode) {
+  CostModel m = CostModel::zero();
+  m.link_per_msg_ns = 10'000;
+  Fabric fab(Topology(3, 1, 1), m);
+  // Two sources converging on one destination node share its ingress
+  // link: the second arrival queues behind the first's occupancy.
+  std::vector<std::uint64_t> arrivals;
+  arrivals.push_back(fab.send(make_packet(0, 2, 0)));
+  arrivals.push_back(fab.send(make_packet(1, 2, 0)));
+  EXPECT_GE(arrivals[1], arrivals[0] + 10'000);
+  EXPECT_EQ(fab.link_busy_ns(), 20'000u);
+  EXPECT_GT(fab.max_link_queue_ns(), 0u);
+  // Distinct destination nodes have distinct links: no queueing.
+  const std::uint64_t before = tram::util::now_ns();
+  const std::uint64_t other = fab.send(make_packet(0, 1, 0));
+  EXPECT_LT(other, before + 20'000);
+}
+
+TEST(Fabric, LinkContentionOffLeavesCountersZero) {
+  CostModel m = CostModel::zero();
+  m.inject_ns = 1'000;
+  Fabric fab(Topology(2, 1, 1), m);
+  EXPECT_FALSE(m.link_contention());
+  fab.send(make_packet(0, 1));
+  fab.send(make_packet(1, 0));
+  EXPECT_EQ(fab.link_busy_ns(), 0u);
+  EXPECT_EQ(fab.max_link_queue_ns(), 0u);
+}
+
+TEST(Fabric, LinkContentionChargesPerByte) {
+  CostModel m = CostModel::zero();
+  m.link_per_byte_ns = 2.0;
+  Fabric fab(Topology(2, 1, 1), m);
+  fab.send(make_packet(0, 1, 100));
+  const std::size_t wire = 100 + Packet::kHeaderBytes;
+  EXPECT_EQ(fab.link_busy_ns(), 2u * wire);
+}
+
+TEST(Fabric, ResetClearsLinkClocks) {
+  CostModel m = CostModel::zero();
+  m.link_per_msg_ns = 1'000'000;
+  Fabric fab(Topology(2, 1, 1), m);
+  fab.send(make_packet(0, 1));
+  fab.send(make_packet(1, 0));
+  fab.reset();
+  EXPECT_EQ(fab.link_busy_ns(), 0u);
+  EXPECT_EQ(fab.max_link_queue_ns(), 0u);
+  // A fresh send after reset pays only its own occupancy, not the old
+  // clock's backlog.
+  const std::uint64_t before = tram::util::now_ns();
+  const std::uint64_t arrival = fab.send(make_packet(0, 1));
+  EXPECT_LT(arrival, before + 3'000'000);
+}
+
 TEST(Fabric, RejectsBadDestination) {
   Fabric fab(Topology(1, 2, 1), CostModel::zero());
   EXPECT_THROW(fab.send(make_packet(0, 7)), std::out_of_range);
