@@ -30,6 +30,7 @@
 #include "net/cost_model.hpp"
 #include "runtime/config.hpp"
 #include "runtime/machine.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -45,9 +46,18 @@ struct BenchOptions {
   /// When nonempty, also write results as a JSON array to this path
   /// (see JsonReporter; benches with a perf trajectory set a default).
   std::string json;
+  /// When nonempty, enable the tracing layer (src/trace/) and write the
+  /// merged Chrome trace-event JSON here when the bench finishes (the
+  /// destructor covers every return path), plus the per-phase summary.
+  std::string trace;
   /// Driver hook to register extra options before parsing (e.g.
   /// fig_routed_histogram's --procs sweep override).
   std::function<void(util::Cli&)> extra;
+
+  BenchOptions() = default;
+  BenchOptions(const BenchOptions&) = delete;
+  BenchOptions& operator=(const BenchOptions&) = delete;
+  ~BenchOptions() { finish_trace(); }
 
   /// Parse argv; also honors TRAM_QUICK=1. Returns false on --help/err.
   bool parse(int argc, char** argv, const std::string& what) {
@@ -56,14 +66,33 @@ struct BenchOptions {
     cli.add_int("trials", &trials, "timed trials per configuration");
     cli.add_flag("csv", &csv, "also print CSV rows");
     cli.add_string("json", &json, "write a JSON result array to this path");
+    cli.add_string("trace", &trace,
+                   "write a Chrome/Perfetto trace-event JSON to this path");
     if (extra) extra(cli);
     if (!cli.parse(argc, argv)) return false;
     if (const char* env = std::getenv("TRAM_QUICK");
         env && env[0] == '1') {
       quick = true;
     }
+    if (!trace.empty()) {
+      trace::set_enabled(true);
+      trace::set_thread_name("main");
+    }
     return true;
   }
+
+  /// Write the trace file and the per-phase summary once (destructor
+  /// fallback; call earlier to place the summary in the output).
+  void finish_trace() {
+    if (trace.empty() || trace_written_) return;
+    trace_written_ = true;
+    trace::set_enabled(false);
+    trace::write_chrome_json(trace);
+    trace::print_phase_summary(stdout);
+  }
+
+ private:
+  bool trace_written_ = false;
 };
 
 /// Parse "8,16,64" into proc counts (the CI smoke jobs run the small

@@ -212,6 +212,9 @@ int main(int argc, char** argv) {
           rt_cfg.fault.drop_rate = drop;
           rt_cfg.fault.seed = static_cast<std::uint64_t>(fault_seed);
           rt_cfg.fault.sack = mode.sack;
+          trace::phase(std::string(core::to_string(scheme)) + " p=" +
+                       std::to_string(procs) + " drop=" +
+                       std::to_string(drop) + " " + mode.name);
           const SweepPoint point = run_cell(
               topo, rt_cfg, tram, updates, static_cast<int>(opt.trials));
           const bool verified =

@@ -17,9 +17,11 @@
 /// Runs non-SMP (one worker per process) so the process count is the only
 /// variable. Emits BENCH_routed_histogram.json (override with --json).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "hist_common.hpp"
 #include "route/virtual_mesh.hpp"
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
                                                core::mesh_ndims(scheme))
                    .to_string();
       }
+      trace::phase(std::string(core::to_string(scheme)) + " p=" +
+                   std::to_string(procs));
       const auto point = bench::run_histogram(
           topo, rt_cfg, tram, updates, static_cast<int>(opt.trials));
       cells[pi].push_back({point, mesh});
@@ -189,6 +193,50 @@ int main(int argc, char** argv) {
                   "explicit all-zero FaultConfig leaves WPs ns/item "
                   "unchanged (within host noise)");
   }
+
+  // Tracing overhead A/B: the smallest WPs cell with event recording
+  // runtime-disabled vs enabled. The record path is one predicted branch
+  // when off and a 32-byte ring store when on (bench/micro_trace.cpp
+  // pins both), so traced ns/item must stay within 5% of untraced. Five
+  // interleaved off/on pairs, each pair yielding a ratio, and the median
+  // ratio judged: adjacent runs see the same host conditions (this box's
+  // run-to-run swing dwarfs the effect under test), and the median sheds
+  // the scheduler's outliers.
+  {
+    const int procs0 = proc_counts[0];
+    const util::Topology topo0(procs0, 1, 1);
+    core::TramConfig tram0;
+    tram0.scheme = core::Scheme::WPs;
+    tram0.buffer_items = g;
+    const bool was_tracing = trace::enabled();
+    trace::phase("trace A/B");
+    std::vector<double> ratios;
+    double off_ns = 0.0, on_ns = 0.0;
+    const double denom =
+        static_cast<double>(updates * static_cast<std::uint64_t>(procs0));
+    for (int rep = 0; rep < 5; ++rep) {
+      trace::set_enabled(false);
+      const auto untraced = bench::run_histogram(
+          topo0, rt_cfg, tram0, updates, static_cast<int>(opt.trials));
+      trace::set_enabled(true);
+      const auto traced = bench::run_histogram(
+          topo0, rt_cfg, tram0, updates, static_cast<int>(opt.trials));
+      ratios.push_back(traced.seconds / untraced.seconds);
+      off_ns = untraced.seconds * 1e9 / denom;
+      on_ns = traced.seconds * 1e9 / denom;
+    }
+    trace::set_enabled(was_tracing);
+    std::sort(ratios.begin(), ratios.end());
+    const double median = ratios[ratios.size() / 2];
+    std::printf("\ntrace overhead A/B: WPs@%d ns/item %.2f (untraced) vs "
+                "%.2f (traced); median of %zu pair ratios %+.1f%%\n",
+                procs0, off_ns, on_ns, ratios.size(),
+                (median - 1.0) * 100.0);
+    shapes.expect(median < 1.05,
+                  "traced ns/item within 5% of untraced (median of "
+                  "interleaved pairs)");
+  }
+  opt.finish_trace();
   shapes.report();
   return 0;
 }

@@ -120,6 +120,8 @@ int main(int argc, char** argv) {
                                                core::mesh_ndims(scheme))
                    .to_string();
       }
+      trace::phase(std::string(core::to_string(scheme)) + " p=" +
+                   std::to_string(procs));
       const auto point = run_phold(topo, tram, rt_cfg, end_time,
                                    static_cast<int>(opt.trials));
       if (scheme == core::Scheme::WPs) direct_events = point.events;

@@ -86,6 +86,8 @@ int main(int argc, char** argv) {
                                                core::mesh_ndims(scheme))
                    .to_string();
       }
+      trace::phase(std::string(core::to_string(scheme)) + " p=" +
+                   std::to_string(procs));
       const auto point =
           bench::run_sssp(g, topo, tram, static_cast<int>(opt.trials),
                           rt_cfg, /*prioritize_urgent=*/true);

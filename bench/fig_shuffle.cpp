@@ -177,6 +177,8 @@ int main(int argc, char** argv) {
                                                core::mesh_ndims(scheme))
                    .to_string();
       }
+      trace::phase(std::string(core::to_string(scheme)) + " p=" +
+                   std::to_string(procs));
       const auto point = run_shuffle(topo, rt_cfg, tram, base,
                                      static_cast<int>(opt.trials));
       if (!have_reference) {

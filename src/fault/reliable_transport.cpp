@@ -7,12 +7,19 @@
 
 #include "runtime/machine.hpp"
 #include "runtime/process.hpp"
+#include "trace/trace.hpp"
 #include "util/payload_pool.hpp"
 #include "util/timebase.hpp"
 
 namespace tram::fault {
 
 namespace {
+
+/// Channel identity for trace event args: src proc in the high half.
+std::uint32_t trace_chan(ProcId src, ProcId dst) noexcept {
+  return (static_cast<std::uint32_t>(src) << 16) |
+         (static_cast<std::uint32_t>(dst) & 0xffffu);
+}
 /// Floor on the retransmit timeout: under the zero-cost test model the
 /// modeled round trip is 0, but acks still take real wall time (pump
 /// polling, thread scheduling) to come back — probing faster than this
@@ -270,6 +277,8 @@ void ReliableTransport::apply_ack(ProcId data_src, ProcId data_dst,
   std::vector<rt::Message> rtx;
   std::uint64_t rtx_bytes = 0;
   std::uint32_t fast_n = 0;
+  std::uint32_t sacked_n = 0;
+  std::uint64_t cwnd_now = 0;
   {
     std::lock_guard<util::Spinlock> g(c.mu);
     // 1. Pop everything the cumulative ack covers. SACKed shells were
@@ -309,6 +318,7 @@ void ReliableTransport::apply_ack(ProcId data_src, ProcId data_dst,
         c.inflight_bytes -= e.bytes;
         ++settled;
         newly_sacked = true;
+        ++sacked_n;
       });
     }
     // 3. Fast retransmit: an unsacked entry serially below the highest
@@ -350,6 +360,21 @@ void ReliableTransport::apply_ack(ProcId data_src, ProcId data_dst,
       c.probe_deadline_ns =
           c.inflight_msgs != 0 ? now + rto_for(c) : 0;
     }
+    cwnd_now = static_cast<std::uint64_t>(c.cwnd);
+  }
+  if (trace::enabled()) {
+    const std::uint32_t chan = trace_chan(data_src, data_dst);
+    if (sacked_n != 0) {
+      trace::instant(trace::Cat::kFault, trace::kSackShell, sacked_n, chan);
+    }
+    if (fast_n != 0) {
+      trace::instant(trace::Cat::kFault, trace::kFastRetransmit, fast_n,
+                     chan);
+    }
+    // Both the multiplicative cut (fast retransmit) and the additive
+    // growth (cumulative progress) land here — one sample per ack event
+    // draws the AIMD sawtooth.
+    if (settled != 0 || fast_n != 0) trace::cwnd_sample(cwnd_now, chan);
   }
   if (settled != 0) {
     unacked_total_.fetch_sub(settled, std::memory_order_acq_rel);
@@ -446,6 +471,7 @@ std::size_t ReliableTransport::poll(rt::Process& proc) {
     Channel& out = ch(p, d);
     std::vector<rt::Message> rtx;
     std::uint64_t rtx_bytes = 0;
+    std::uint64_t cwnd_now = 0;
     {
       std::lock_guard<util::Spinlock> g(out.mu);
       if (out.inflight_msgs != 0 && out.probe_deadline_ns != 0 &&
@@ -460,12 +486,19 @@ std::size_t ReliableTransport::poll(rt::Process& proc) {
         }
         loss_event(out, /*timeout=*/true);
         out.probe_deadline_ns = now + rto_for(out);
+        cwnd_now = static_cast<std::uint64_t>(out.cwnd);
       }
     }
     if (!rtx.empty()) {
       rto_fires_.fetch_add(1, std::memory_order_relaxed);
       retransmits_.fetch_add(rtx.size(), std::memory_order_relaxed);
       rtx_bytes_.fetch_add(rtx_bytes, std::memory_order_relaxed);
+      if (trace::enabled()) {
+        const std::uint32_t chan = trace_chan(p, d);
+        trace::instant(trace::Cat::kFault, trace::kRtoFire, rtx.size(),
+                       chan);
+        trace::cwnd_sample(cwnd_now, chan);
+      }
       for (auto& m : rtx) inner_->send(p, std::move(m));
     }
     // Belt and braces for pacing: acks normally drain the queue, but an

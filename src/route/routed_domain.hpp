@@ -85,6 +85,7 @@
 #include "runtime/machine.hpp"
 #include "runtime/message.hpp"
 #include "runtime/worker.hpp"
+#include "trace/trace.hpp"
 #include "util/payload_pool.hpp"
 #include "util/timebase.hpp"
 
@@ -315,6 +316,7 @@ class RoutedDomain {
     /// intermediate buffers drain the same way. Priority slots flush
     /// first so urgent stragglers leave ahead of bulk at this hop too.
     void flush_all() {
+      const std::uint64_t shipped0 = stats_.msgs_shipped;
       for (int slot = 0; slot < static_cast<int>(pri_bufs_.size());
            ++slot) {
         const auto s = static_cast<std::size_t>(slot);
@@ -327,6 +329,10 @@ class RoutedDomain {
         if (!bufs_[s].empty() || slot_staged_[s] != 0) {
           ship_slot(slot, /*from_flush=*/true, /*pri=*/false);
         }
+      }
+      if (stats_.msgs_shipped > shipped0) {
+        trace::instant(trace::Cat::kRoute, trace::kFlushIdle,
+                       stats_.msgs_shipped - shipped0);
       }
     }
 
@@ -421,6 +427,10 @@ class RoutedDomain {
       if (pri || slot_counted_[s]) return;
       slot_counted_[s] = true;
       ++reserved_buffers_;
+      // Every increment IS a new high-water mark (the count never drops
+      // within a run) — the trace shows when the footprint grew.
+      trace::instant(trace::Cat::kRoute, trace::kBufferHighWater,
+                     reserved_buffers_, static_cast<std::uint32_t>(s));
     }
 
     std::uint32_t staged_of(std::size_t s, bool pri) const noexcept {
@@ -584,6 +594,13 @@ class RoutedDomain {
       if (from_flush) ++stats_.flush_msgs;
       stats_.occupancy_at_ship.add(static_cast<double>(n));
       (pri ? pri_slot_hop_ : slot_hop_)[s] = 0;
+      // a1 packs the slot with what kind of ship this was: bit 16 pri,
+      // 17 flush, 18 sorted fast path; hop in bits 24+.
+      trace::instant(trace::Cat::kRoute, trace::kShip, n,
+                     static_cast<std::uint32_t>(s) |
+                         (pri ? 1u << 16 : 0) | (from_flush ? 1u << 17 : 0) |
+                         (sorted ? 1u << 18 : 0) |
+                         (static_cast<std::uint32_t>(hop) << 24));
 
       self_->send_to_proc(d.router_.ship_target(self_proc_, slot),
                           std::move(m));
@@ -615,8 +632,13 @@ class RoutedDomain {
         // carries extents (stage_run refuses sorted slots).
         assert(msg.extras.empty());
         scatter_sorted(w, msg, entries, wire.hdr.priority());
+        trace::instant(trace::Cat::kRoute, trace::kScatterSorted,
+                       entries.size());
       } else {
+        const std::uint64_t t0 = trace::maybe_now();
         rebucket_message(w, wire, msg, entries);
+        trace::complete(trace::Cat::kRoute, trace::kRebucket, t0,
+                        entries.size(), wire.hdr.hop);
       }
     }
 

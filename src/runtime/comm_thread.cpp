@@ -8,6 +8,7 @@
 #include "runtime/process.hpp"
 #include "runtime/transport.hpp"
 #include "runtime/worker.hpp"
+#include "trace/trace.hpp"
 #include "util/spinlock.hpp"
 #include "util/timebase.hpp"
 
@@ -43,11 +44,14 @@ std::size_t CommThread::pump_ingress() {
 
 void CommThread::run() {
   const auto& cfg = machine_.config();
+  trace::set_thread_name("comm " + std::to_string(proc_.id()));
   std::uint32_t idle_round = 0;
   for (;;) {
+    const std::uint64_t t0 = trace::maybe_now();
     std::size_t work = pump_egress();
     work += pump_ingress();
     if (work > 0) {
+      trace::complete(trace::Cat::kRuntime, trace::kCommPump, t0, work);
       idle_round = 0;
       continue;
     }

@@ -67,6 +67,11 @@ struct RuntimeConfig {
   std::uint32_t idle_yield = 16;
   std::uint64_t idle_nap_ns = 20'000;
 
+  /// Counter-sampler cadence while tracing is enabled (trace::enabled()):
+  /// how often the sampler thread snapshots pool occupancy, send backlog,
+  /// in-flight messages, and reliability counters into counter events.
+  std::uint64_t trace_sample_ns = 200'000;
+
   /// Returns a config with a zero-cost interconnect and zero comm-thread
   /// per-message costs: deterministic unit-test mode.
   static RuntimeConfig testing() {

@@ -9,6 +9,7 @@
 #include "fault/reliable_transport.hpp"
 #include "runtime/comm_thread.hpp"
 #include "runtime/transport.hpp"
+#include "trace/trace.hpp"
 #include "util/timebase.hpp"
 
 namespace tram::rt {
@@ -122,6 +123,8 @@ void Machine::quiescence_wait(std::uint64_t& t_end_ns) {
                     h == s && total_pending() == 0 &&
                     transport_->in_flight() == 0;
     const std::uint64_t now = util::now_ns();
+    trace::instant(trace::Cat::kRuntime, trace::kQdRound, s - h,
+                   ok ? 1u : 0u);
     if (!ok) {
       first_ok_ns = 0;
     } else if (first_ok_ns == 0) {
@@ -172,6 +175,31 @@ Machine::RunResult Machine::run(const std::function<void(Worker&)>& main_fn,
     }
   }
 
+  // While tracing: sample machine-wide occupancy into counter events on a
+  // dedicated thread. Every source reads only atomics (the TSan job runs
+  // traced machines).
+  std::unique_ptr<trace::CounterSampler> sampler;
+  if (trace::enabled()) {
+    sampler = std::make_unique<trace::CounterSampler>(cfg_.trace_sample_ns);
+    sampler->add("backlog msgs", [this] {
+      const std::uint64_t h = total_handled();
+      const std::uint64_t s = total_sent();
+      return s > h ? s - h : 0;
+    });
+    sampler->add("pending items", [this] { return total_pending(); });
+    sampler->add("transport in-flight",
+                 [this] { return transport_->in_flight(); });
+    sampler->add("pool outstanding bytes", [] {
+      return core::payload_pool_stats().outstanding_bytes;
+    });
+    if (reliable_ != nullptr) {
+      sampler->add("retransmits",
+                   [this] { return reliable_->retransmits(); });
+      sampler->add("paced msgs", [this] { return reliable_->paced_msgs(); });
+    }
+    sampler->start();
+  }
+
   std::vector<std::thread> threads;
   std::vector<std::unique_ptr<CommThread>> comms;
   threads.reserve(static_cast<std::size_t>(topo_.workers() + topo_.procs()));
@@ -191,6 +219,7 @@ Machine::RunResult Machine::run(const std::function<void(Worker&)>& main_fn,
         w->owner_thread_.store(
             std::hash<std::thread::id>{}(std::this_thread::get_id()),
             std::memory_order_relaxed);
+        trace::set_thread_name("worker " + std::to_string(w->id()));
         start_barrier_->arrive_and_wait();
         main_fn(*w);
         mains_done_.fetch_add(1, std::memory_order_acq_rel);
@@ -207,6 +236,7 @@ Machine::RunResult Machine::run(const std::function<void(Worker&)>& main_fn,
   quiescence_wait(t_end);
   stop_.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+  if (sampler) sampler->stop();
 
   RunResult res;
   res.wall_s = static_cast<double>(t_end - t0) * 1e-9;

@@ -9,6 +9,7 @@
 #include "runtime/machine.hpp"
 #include "runtime/process.hpp"
 #include "runtime/transport.hpp"
+#include "trace/trace.hpp"
 #include "util/spinlock.hpp"
 #include "util/timebase.hpp"
 
@@ -96,6 +97,14 @@ std::size_t Worker::progress() {
     std::abort();
   }
   const std::uint32_t batch = machine_.config().progress_batch;
+  // Span timestamp only when a batch is plausibly non-empty: idle workers
+  // spin through here, and an unconditional clock read per spin is the
+  // kind of traced-run overhead the fig_routed_histogram A/B row bounds.
+  std::uint64_t t0 = 0;
+  if (trace::enabled() &&
+      (!expedited_inbox_.empty_approx() || !inbox_.empty_approx())) {
+    t0 = trace::maybe_now();
+  }
   std::size_t n = 0;
   // Expedited messages first (Charm++ expedited entry methods).
   while (n < batch) {
@@ -110,6 +119,9 @@ std::size_t Worker::progress() {
     dispatch(std::move(*m));
     ++n;
   }
+  // One span per non-empty batch: the worker's busy time is the sum of
+  // these, everything between them is idle/overhead.
+  if (n > 0) trace::complete(trace::Cat::kRuntime, trace::kWorkerBusy, t0, n);
   return n;
 }
 

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "shuffle/merge.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace tram::shuffle {
@@ -85,10 +86,16 @@ void ShuffleApp::deliver(rt::Worker& w, const Record& r) {
   auto* recs = reinterpret_cast<Record*>(s.buf.data());
   recs[s.count++] = r;
   ++s.delivered;
-  if (s.count == slice_records_) spill(w.id(), s);
+  if (s.count == slice_records_) {
+    trace::instant(trace::Cat::kShuffle, trace::kSliceFill, s.count,
+                   static_cast<std::uint32_t>(w.id()));
+    spill(w.id(), s);
+  }
 }
 
 void ShuffleApp::spill(WorkerId w, Sink& s) {
+  const std::uint64_t t0 = trace::maybe_now();
+  const std::size_t n = s.count;
   auto* recs = reinterpret_cast<Record*>(s.buf.data());
   std::sort(recs, recs + s.count);
   if (!s.writer) {
@@ -96,6 +103,8 @@ void ShuffleApp::spill(WorkerId w, Sink& s) {
   }
   s.writer->write_run(record_bytes(recs, s.count));
   s.count = 0;
+  trace::complete(trace::Cat::kShuffle, trace::kSpill, t0, n,
+                  static_cast<std::uint32_t>(w));
 }
 
 std::string ShuffleApp::spill_path(WorkerId w, int pass) const {
@@ -191,6 +200,7 @@ ShuffleResult ShuffleApp::run(std::uint64_t seed) {
 
 void ShuffleApp::merge_worker(WorkerId w, std::FILE* out, ShuffleResult& res,
                               Crc64& crc, Record& prev, bool& any_out) {
+  const std::uint64_t t0 = trace::maybe_now();
   auto& s = sinks_[static_cast<std::size_t>(w)];
   auto* tail = s.buf.empty() ? nullptr : reinterpret_cast<Record*>(s.buf.data());
   if (tail != nullptr) std::sort(tail, tail + s.count);
@@ -212,6 +222,8 @@ void ShuffleApp::merge_worker(WorkerId w, std::FILE* out, ShuffleResult& res,
     int pass = 0;
     while (runs.size() > max_fanin) {
       ++pass;
+      trace::instant(trace::Cat::kShuffle, trace::kMergePass, runs.size(),
+                     static_cast<std::uint32_t>(pass));
       auto next = std::make_unique<io::SpillWriter>(spill_path(w, pass));
       io::SpillReader in(cur_path);
       for (std::size_t base = 0; base < runs.size(); base += max_fanin) {
@@ -325,6 +337,8 @@ void ShuffleApp::merge_worker(WorkerId w, std::FILE* out, ShuffleResult& res,
   if (!cur_path.empty() && cur_path != spill_path(w, 0)) {
     std::remove(cur_path.c_str());
   }
+  trace::complete(trace::Cat::kShuffle, trace::kMergeWorker, t0, k_total,
+                  static_cast<std::uint32_t>(w));
 }
 
 std::uint64_t write_random_input(const std::string& path,
